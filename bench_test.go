@@ -1,0 +1,176 @@
+// Benchmarks regenerating every table and figure of the paper plus the
+// five §3.3 design-claim experiments.  Each benchmark runs the same code
+// path as `avbench -exp <name>` and reports the experiment's headline
+// numbers as custom metrics, so `go test -bench .` reproduces the whole
+// evaluation.
+package avdb_test
+
+import (
+	"testing"
+
+	"avdb/internal/avtime"
+	"avdb/internal/experiment"
+	"avdb/internal/media"
+)
+
+// BenchmarkTable1Activities instantiates and introspects the activity
+// classes of Table 1.
+func BenchmarkTable1Activities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 9 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkFig1TemporalComposition builds and verifies the Newscast.clip
+// timeline of Fig. 1.
+func BenchmarkFig1TemporalComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Boundaries) != 4 {
+			b.Fatal("boundary count wrong")
+		}
+	}
+}
+
+// BenchmarkFig2FlowComposition runs the read→decode→display chain flat
+// and as a composite (Fig. 2) and reports the composite's overhead.
+func BenchmarkFig2FlowComposition(b *testing.B) {
+	var res *experiment.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Fig2(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("composite output differs")
+		}
+	}
+	b.ReportMetric(res.CompressionRate, "compression:1")
+	b.ReportMetric(float64(res.FlatBytes), "bytes-displayed")
+}
+
+// BenchmarkFig3SynchronizedPlayback plays a temporally composed newscast
+// (Fig. 3) and reports the inter-track skews with and without composite
+// synchronization.
+func BenchmarkFig3SynchronizedPlayback(b *testing.B) {
+	var res *experiment.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Fig3(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.IndependentSkew.Seconds()*1000, "skew-independent-ms")
+	b.ReportMetric(res.CompositeSkew.Seconds()*1000, "skew-composite-ms")
+	b.ReportMetric(100*res.MissRate, "miss-%")
+}
+
+// BenchmarkFig4VirtualWorld runs the walkthrough under both activity
+// graphs of Fig. 4 and reports bytes per frame over the network.
+func BenchmarkFig4VirtualWorld(b *testing.B) {
+	var res *experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Fig4(60, 320, 240, 10*media.MBPerSecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].BytesPerFrame, "wire-B/frame-client-render")
+	b.ReportMetric(res.Rows[1].BytesPerFrame, "wire-B/frame-db-render")
+}
+
+// BenchmarkC1DevicePlacement measures the network traffic of a two-source
+// mix with the mixer at either end (§3.3 database platform).
+func BenchmarkC1DevicePlacement(b *testing.B) {
+	var res *experiment.C1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.C1DevicePlacement(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Factor, "traffic-factor")
+}
+
+// BenchmarkC2AdmissionControl measures deadline misses with reservations
+// versus best effort (§3.3 scheduling).
+func BenchmarkC2AdmissionControl(b *testing.B) {
+	var res *experiment.C2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.C2AdmissionControl(120, 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Admitted), "streams-admitted")
+	b.ReportMetric(100*res.AdmittedMisses, "miss-%-admitted")
+	b.ReportMetric(100*res.BestEffortMisses, "miss-%-best-effort")
+}
+
+// BenchmarkC3AsyncVsBlocking measures completion under the asynchronous
+// stream interface versus request/reply (§3.3 client interface).
+func BenchmarkC3AsyncVsBlocking(b *testing.B) {
+	var res *experiment.C3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.C3AsyncVsBlocking(120, 5*avtime.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup, "async-speedup")
+	b.ReportMetric(res.FirstResultAt.Seconds()*1000, "first-result-ms")
+}
+
+// BenchmarkC4DataPlacement measures two-stream startup latency with and
+// without client-visible placement (§3.3 data placement).
+func BenchmarkC4DataPlacement(b *testing.B) {
+	var res *experiment.C4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.C4DataPlacement(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SameDevice.Seconds()*1000, "startup-ms-same-device")
+	b.ReportMetric(res.DualDevice.Seconds()*1000, "startup-ms-dual-device")
+}
+
+// BenchmarkC5QualityFactors measures serving quality factors from a
+// scalable encoding versus transcoding (§3.3/§4.1 data representation).
+func BenchmarkC5QualityFactors(b *testing.B) {
+	var res *experiment.C5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.C5QualityFactors(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var drop, transcode float64
+	for _, row := range res.Rows {
+		switch row.Method {
+		case "layer-drop":
+			drop += float64(row.BytesProcessed)
+		case "transcode":
+			transcode += float64(row.BytesProcessed)
+		}
+	}
+	b.ReportMetric(drop, "bytes-layer-drop")
+	b.ReportMetric(transcode, "bytes-transcode")
+}

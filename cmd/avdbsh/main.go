@@ -1,0 +1,251 @@
+// Command avdbsh is a small interactive shell over an AV database
+// instance preloaded with demo newscasts.  It speaks the query language
+// of the paper's §4.3 pseudo-code:
+//
+//	avdb> select SimpleNewscast where title contains "News"
+//	avdb> show 2
+//	avdb> devices
+//
+// Run one-shot commands with -c "cmd; cmd".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"avdb/internal/core"
+	"avdb/internal/media"
+	"avdb/internal/schema"
+	"avdb/internal/synth"
+)
+
+func main() {
+	oneShot := flag.String("c", "", "run semicolon-separated commands and exit")
+	flag.Parse()
+
+	db, err := demoDatabase()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avdbsh:", err)
+		os.Exit(1)
+	}
+	if *oneShot != "" {
+		for _, cmd := range strings.Split(*oneShot, ";") {
+			if err := execute(db, strings.TrimSpace(cmd)); err != nil {
+				fmt.Fprintln(os.Stderr, "avdbsh:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fmt.Printf("%s — %d classes, type 'help'\n", db.Name(), len(db.Schema().Classes()))
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("avdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := execute(db, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func execute(db *core.Database, line string) error {
+	switch {
+	case line == "help":
+		fmt.Print(`commands:
+  select <Class> [where <expr>]   run a query, list matching references
+  show <oid>                      print an object's attributes
+  classes                         list defined classes
+  class <Name>                    describe a class
+  devices                         list platform devices
+  similar <oid>                   rank newscasts by video similarity (QBPE)
+  help | quit
+`)
+	case line == "classes":
+		for _, n := range db.Schema().Classes() {
+			fmt.Println(" ", n)
+		}
+	case strings.HasPrefix(line, "class "):
+		name := strings.TrimSpace(strings.TrimPrefix(line, "class "))
+		c, ok := db.Schema().Class(name)
+		if !ok {
+			return fmt.Errorf("no class %q", name)
+		}
+		fmt.Printf("class %s", c.Name())
+		if c.Super() != nil {
+			fmt.Printf(" subclass-of %s", c.Super().Name())
+		}
+		fmt.Println(" {")
+		for _, a := range c.Attrs() {
+			switch a.Kind {
+			case schema.KindTComp:
+				fmt.Printf("  tcomp %s {", a.Name)
+				for i, tr := range a.Tracks {
+					if i > 0 {
+						fmt.Print(", ")
+					}
+					fmt.Printf("%s %s", tr.MediaKind, tr.Name)
+				}
+				fmt.Println("}")
+			case schema.KindMedia:
+				fmt.Printf("  %sValue %s", titleCase(a.MediaKind.String()), a.Name)
+				if !a.VideoQuality.IsZero() {
+					fmt.Printf(" quality %v", a.VideoQuality)
+				}
+				fmt.Println()
+			default:
+				fmt.Printf("  %v %s\n", a.Kind, a.Name)
+			}
+		}
+		fmt.Println("}")
+	case line == "devices":
+		for _, id := range db.Devices().List() {
+			d, _ := db.Devices().Get(id)
+			excl := ""
+			if d.Exclusive() {
+				excl = " (exclusive)"
+				if h, held := db.Devices().Holder(id); held {
+					excl = fmt.Sprintf(" (held by %s)", h)
+				}
+			}
+			fmt.Printf("  %-10s %v%s\n", id, d.DeviceKind(), excl)
+		}
+	case strings.HasPrefix(line, "show "):
+		n, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "show ")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("show wants an OID")
+		}
+		o, ok := db.Object(schema.OID(n))
+		if !ok {
+			return fmt.Errorf("no object oid:%d", n)
+		}
+		fmt.Printf("%s {\n", o)
+		for _, f := range o.Fields() {
+			d, _ := o.Get(f)
+			fmt.Printf("  %s = %s\n", f, d.Format())
+		}
+		fmt.Println("}")
+	case strings.HasPrefix(line, "similar "):
+		n, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "similar ")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("similar wants an OID")
+		}
+		o, ok := db.Object(schema.OID(n))
+		if !ok {
+			return fmt.Errorf("no object oid:%d", n)
+		}
+		d, ok := o.Get("videoTrack")
+		if !ok {
+			return fmt.Errorf("%s has no videoTrack", o)
+		}
+		vv, ok := d.MediaVal().(*media.VideoValue)
+		if !ok || vv.NumFrames() == 0 {
+			return fmt.Errorf("%s videoTrack is not raster-addressable", o)
+		}
+		example, err := vv.Frame(0)
+		if err != nil {
+			return err
+		}
+		matches, err := db.FindSimilar(o.Class().Name(), "videoTrack", example, 5)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			mo, _ := db.Object(m.OID)
+			title := ""
+			if d, ok := mo.Get("title"); ok {
+				title = d.Format()
+			}
+			fmt.Printf("  %v  distance %.3f  %s\n", m.OID, m.Distance, title)
+		}
+	case strings.HasPrefix(line, "select"):
+		oids, err := db.Select(line)
+		if err != nil {
+			return err
+		}
+		for _, oid := range oids {
+			o, _ := db.Object(oid)
+			title := ""
+			if d, ok := o.Get("title"); ok {
+				title = d.Format()
+			}
+			fmt.Printf("  %v  %s  %s\n", oid, o.Class().Name(), title)
+		}
+		fmt.Printf("%d object(s)\n", len(oids))
+	default:
+		return fmt.Errorf("unknown command (try 'help')")
+	}
+	return nil
+}
+
+func demoDatabase() (*core.Database, error) {
+	db, err := core.OpenDefault("avdb-demo", core.PlatformConfig{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.DefineClass("MediaObject", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := db.DefineClass("SimpleNewscast", "MediaObject", []schema.AttrDef{
+		{Name: "broadcastSource", Kind: schema.KindString},
+		{Name: "whenBroadcast", Kind: schema.KindDate},
+		{Name: "videoTrack", Kind: schema.KindMedia, MediaKind: media.KindVideo},
+	}); err != nil {
+		return nil, err
+	}
+	titles := []struct {
+		title, src string
+		day        int
+		pattern    synth.Pattern
+	}{
+		{"60 Minutes", "CBS", 19, synth.PatternMotion},
+		{"Evening News", "CBS", 19, synth.PatternBars},
+		{"Morning Report", "NBC", 20, synth.PatternMotion},
+		{"World Tonight", "ABC", 21, synth.PatternChecker},
+	}
+	for i, tt := range titles {
+		o, err := db.NewObject("SimpleNewscast")
+		if err != nil {
+			return nil, err
+		}
+		for attr, d := range map[string]schema.Datum{
+			"title":           schema.String(tt.title),
+			"broadcastSource": schema.String(tt.src),
+			"whenBroadcast":   schema.Date(time.Date(1993, 4, tt.day, 20, 0, 0, 0, time.UTC)),
+			"videoTrack": schema.Media(synth.Video(media.TypeRawVideo30,
+				tt.pattern, 64, 48, 8, 90, int64(i))),
+		} {
+			if err := db.SetAttr(o.OID(), attr, d); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := db.PlaceMedia(o.OID(), "videoTrack", "", media.MBPerSecond); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// titleCase upper-cases the first byte of an ASCII word.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

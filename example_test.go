@@ -1,0 +1,105 @@
+package avdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"avdb"
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/media"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/synth"
+)
+
+// Example runs the paper's §4.3 program through the façade: define a
+// class, store a newscast, query for a reference, build the activity
+// pipeline and stream it to the application.
+func Example() {
+	db, err := avdb.OpenDefault("example", avdb.PlatformConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	quality, err := avdb.ParseVideoQuality("32x24x8@30")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineClass("SimpleNewscast", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "videoTrack", Kind: schema.KindMedia, MediaKind: media.KindVideo, VideoQuality: quality},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	obj, err := db.NewObject("SimpleNewscast")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip := synth.Video(media.TypeRawVideo30, synth.PatternMotion, 32, 24, 8, 30, 1)
+	if err := db.SetAttr(obj.OID(), "title", schema.String("60 Minutes")); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.SetAttr(obj.OID(), "videoTrack", schema.Media(clip)); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := db.Connect("viewer", "lan0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	dbSource, err := activities.NewVideoReader("dbSource", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Install(dbSource, core.ResourcesForVideo(quality)); err != nil {
+		log.Fatal(err)
+	}
+	appSink := activities.NewVideoWindow("appSink", activity.AtApplication, quality, 100*avtime.Millisecond)
+	if err := sess.Install(appSink, sched.Resources{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Connect(dbSource, "out", appSink, "in", quality.DataRate()); err != nil {
+		log.Fatal(err)
+	}
+	myNews, err := db.SelectOne(`select SimpleNewscast where title = "60 Minutes"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.BindValue(myNews, "videoTrack", dbSource, "out", 0); err != nil {
+		log.Fatal(err)
+	}
+	pb, err := sess.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pb.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %v\n", myNews)
+	fmt.Printf("frames shown: %d\n", appSink.FramesShown())
+	// Output:
+	// reference: oid:1
+	// frames shown: 30
+}
+
+// ExampleRetrieveAtQuality serves a stored scalable value at a reduced
+// quality factor by ignoring encoded data.
+func ExampleRetrieveAtQuality() {
+	db := avdb.Open(avdb.Config{})
+	clip := synth.Video(media.TypeRawVideo30, synth.PatternMotion, 64, 48, 8, 30, 2)
+	stored, err := db.ImportVideo(clip, avdb.RepresentationHints{Scalable: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, _ := avdb.ParseVideoQuality("16x12x8@30")
+	_, info, err := avdb.RetrieveAtQuality(stored, low)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(info.Method)
+	// Output:
+	// layer-drop
+}

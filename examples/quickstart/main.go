@@ -1,0 +1,139 @@
+// Quickstart: the paper's §4.3 program, end to end.
+//
+// It opens an AV database on a simulated platform, defines the
+// SimpleNewscast class, captures and stores a broadcast, queries for it,
+// and plays the video back to an application window over the network —
+// statements 1-6 of the paper, with the asynchronous completion
+// notification of §3.3.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/media"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An AV database on a default platform: two disks, a videodisc
+	// jukebox, converters, an effects processor, one client LAN link.
+	db, err := core.OpenDefault("quickstart", core.PlatformConfig{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	// class SimpleNewscast { String title; ... VideoValue videoTrack }
+	quality, err := media.ParseVideoQuality("64x48x8@30")
+	if err != nil {
+		return err
+	}
+	if _, err := db.DefineClass("SimpleNewscast", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "broadcastSource", Kind: schema.KindString},
+		{Name: "whenBroadcast", Kind: schema.KindDate},
+		{Name: "videoTrack", Kind: schema.KindMedia, MediaKind: media.KindVideo, VideoQuality: quality},
+	}); err != nil {
+		return err
+	}
+
+	// Capture 3 seconds of a broadcast (synthetic camera) and store it,
+	// placed explicitly on disk0.
+	clip := synth.Video(media.TypeRawVideo30, synth.PatternMotion, 64, 48, 8, 90, 7)
+	obj, err := db.NewObject("SimpleNewscast")
+	if err != nil {
+		return err
+	}
+	for attr, d := range map[string]schema.Datum{
+		"title":           schema.String("60 Minutes"),
+		"broadcastSource": schema.String("CBS"),
+		"whenBroadcast":   schema.Date(time.Date(1993, 4, 19, 20, 0, 0, 0, time.UTC)),
+		"videoTrack":      schema.Media(clip),
+	} {
+		if err := db.SetAttr(obj.OID(), attr, d); err != nil {
+			return err
+		}
+	}
+	seg, err := db.PlaceMedia(obj.OID(), "videoTrack", "disk0", 2*media.MBPerSecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %q: %v\n", "60 Minutes", seg)
+
+	// A client session over the LAN.
+	sess, err := db.Connect("viewer", "lan0")
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	// 1  dbSource = new activity VideoSource for SimpleNewscast.videoTrack
+	dbSource, err := activities.NewVideoReader("dbSource", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return err
+	}
+	if err := sess.Install(dbSource, core.ResourcesForVideo(quality)); err != nil {
+		return err
+	}
+	// 2  appSink = new activity VideoWindow quality 64x48x8@30
+	appSink := activities.NewVideoWindow("appSink", activity.AtApplication, quality, 100*avtime.Millisecond)
+	if err := sess.Install(appSink, sched.Resources{}); err != nil {
+		return err
+	}
+	// 3  videoStream = new connection from dbSource.out to appSink.in
+	if _, err := sess.Connect(dbSource, "out", appSink, "in", quality.DataRate()); err != nil {
+		return err
+	}
+	// 4  myNews = select SimpleNewscast where (...)
+	myNews, err := db.SelectOne(`select SimpleNewscast where (title = "60 Minutes" and whenBroadcast = 1993-04-19)`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query returned reference %v\n", myNews)
+	// 5  bind myNews.videoTrack to dbSource
+	if err := sess.BindValue(myNews, "videoTrack", dbSource, "out", 2*media.MBPerSecond); err != nil {
+		return err
+	}
+	// Event notification: progress every second of material, and the end.
+	if err := dbSource.Catch(activity.EventEachFrame, func(e activity.EventInfo) {
+		if e.Seq%30 == 0 {
+			fmt.Printf("  EACH_FRAME seq=%d at %v\n", e.Seq, e.At)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := dbSource.Catch(activity.EventLastFrame, func(e activity.EventInfo) {
+		fmt.Printf("  LAST_FRAME seq=%d\n", e.Seq)
+	}); err != nil {
+		return err
+	}
+	// 6  start videoStream — returns immediately; the client proceeds.
+	pb, err := sess.Start()
+	if err != nil {
+		return err
+	}
+	fmt.Println("stream started; client continues with other work...")
+	stats, err := pb.Wait()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nplayback complete: %d frames shown over %v of world time\n",
+		appSink.FramesShown(), stats.Elapsed)
+	fmt.Printf("deadline statistics: %v\n", appSink.Monitor())
+	return nil
+}

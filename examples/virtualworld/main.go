@@ -1,0 +1,166 @@
+// Virtual world AV database — the paper's Scenario II and Fig. 4.
+//
+// "An AV database supporting virtual worlds is provided as a network
+// service. ... Users interactively move through the virtual world by
+// querying the database.  As the user changes position, a new
+// visualization of the world is rendered at the database site, resulting
+// in a sequence of images (an AV value) being sent to the user."
+//
+// The example walks a user through a museum whose north wall projects a
+// stored video clip, and runs the walkthrough under BOTH activity graphs
+// of Fig. 4:
+//
+//   - render at the client (the client has 3D hardware): the database
+//     streams only the small video texture;
+//   - render at the database (thin client): the database renders every
+//     view and streams full raster frames.
+//
+// It prints the traffic both configurations generate and dumps one
+// rendered frame as ASCII art.
+//
+//	go run ./examples/virtualworld
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/render"
+	"avdb/internal/sched"
+	"avdb/internal/synth"
+)
+
+const (
+	viewW, viewH = 160, 120
+	steps        = 90
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	texture := synth.Video(media.TypeRawVideo30, synth.PatternMotion, 64, 48, 8, steps, 77)
+
+	for _, atClient := range []bool{true, false} {
+		frames, wire, last, err := walkthrough(texture, atClient)
+		if err != nil {
+			return err
+		}
+		where := "database"
+		if atClient {
+			where = "client"
+		}
+		fmt.Printf("render at %-8s  %3d frames   %8d bytes on the wire   (%.0f bytes/frame)\n",
+			where, frames, wire, float64(wire)/float64(frames))
+		if !atClient {
+			fmt.Println("\nlast rendered view (database-side rendering):")
+			fmt.Println(asciiFrame(last, 80, 30))
+		}
+	}
+	return nil
+}
+
+// walkthrough runs the same user path under one of the Fig. 4 graphs and
+// reports delivered frames and network traffic.
+func walkthrough(texture *media.VideoValue, renderAtClient bool) (int, int64, *media.Frame, error) {
+	world := render.Museum()
+	renderer := render.NewRenderer(world, viewW, viewH)
+	link := netsim.NewLink("wan", 10*media.MBPerSecond, 2*avtime.Millisecond, 0, 5)
+
+	renderLoc := activity.AtDatabase
+	if renderAtClient {
+		renderLoc = activity.AtApplication
+	}
+
+	// The stored video texture lives with the database.
+	texSrc, err := activities.NewVideoReader("videosrc", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := texSrc.Bind(texture, "out"); err != nil {
+		return 0, 0, nil, err
+	}
+	// The user's movement originates at the application.
+	start := render.Camera{X: 8, Y: 7, Angle: -1.2}
+	move, err := activities.NewMoveSource("move", activity.AtApplication, start,
+		activities.OrbitPolicy(world, 0.06, 0.015), steps)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ra := activities.NewRenderActivity("render", renderLoc, renderer)
+	view := activities.NewVideoWindow("view", activity.AtApplication, media.VideoQuality{}, avtime.Second)
+	view.KeepFrames()
+
+	g := activity.NewGraph("vworld")
+	for _, a := range []activity.Activity{texSrc, move, ra, view} {
+		if err := g.Add(a); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	var conns []*netsim.Conn
+	connect := func(from activity.Activity, fp string, to activity.Activity, tp string) error {
+		if from.Location() == to.Location() {
+			_, err := g.Connect(from, fp, to, tp)
+			return err
+		}
+		nc, err := link.Connect(2 * media.MBPerSecond)
+		if err != nil {
+			return err
+		}
+		conns = append(conns, nc)
+		_, err = g.ConnectVia(from, fp, to, tp, nc)
+		return err
+	}
+	if err := connect(texSrc, "out", ra, "video"); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := connect(move, "out", ra, "move"); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := connect(ra, "out", view, "in"); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := g.Start(); err != nil {
+		return 0, 0, nil, err
+	}
+	if _, err := g.Run(activity.RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+		return 0, 0, nil, err
+	}
+	var wire int64
+	for _, c := range conns {
+		wire += c.BytesCarried()
+		c.Close()
+	}
+	frames := view.Frames()
+	var last *media.Frame
+	if len(frames) > 0 {
+		last = frames[len(frames)-1]
+	}
+	return view.FramesShown(), wire, last, nil
+}
+
+// asciiFrame renders a luminance frame as characters.
+func asciiFrame(f *media.Frame, cols, rows int) string {
+	if f == nil {
+		return "(no frame)"
+	}
+	ramp := []byte(" .:-=+*#%@")
+	out := make([]byte, 0, (cols+1)*rows)
+	for r := 0; r < rows; r++ {
+		y := r * f.Height / rows
+		for c := 0; c < cols; c++ {
+			x := c * f.Width / cols
+			out = append(out, ramp[int(f.At(x, y))*len(ramp)/256])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,3 @@
+module avdb
+
+go 1.22

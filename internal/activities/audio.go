@@ -1,0 +1,234 @@
+package activities
+
+import (
+	"fmt"
+
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/sched"
+	"avdb/internal/storage"
+	"avdb/internal/synth"
+)
+
+// AudioReader is a source producing a stored audio value as sample-
+// accurate blocks: at every tick it emits exactly the samples whose
+// presentation falls inside the tick's interval, so audio stays exact at
+// any graph tick rate.
+type AudioReader struct {
+	*activity.Base
+	consumed int
+	started  avtime.WorldTime
+	haveT0   bool
+	stream   *storage.Stream
+}
+
+// NewAudioReader returns a reader whose out port carries the given audio
+// type.
+func NewAudioReader(name string, loc activity.Location, typ *media.Type) (*AudioReader, error) {
+	if typ.Kind != media.KindAudio {
+		return nil, fmt.Errorf("activities: AudioReader needs an audio type, got %s", typ.Name)
+	}
+	r := &AudioReader{Base: activity.NewBase(name, "AudioReader", loc)}
+	r.AddPort("out", activity.Out, typ)
+	r.DeclareEvents(activity.EventEachFrame, activity.EventLastFrame)
+	return r, nil
+}
+
+// AttachStream ties block delivery to a bandwidth-reserved storage
+// stream.
+func (r *AudioReader) AttachStream(s *storage.Stream) { r.stream = s }
+
+// Tick implements activity.Activity.
+func (r *AudioReader) Tick(tc *activity.TickContext) error {
+	v, ok := r.Binding("out")
+	if !ok {
+		return fmt.Errorf("activities: %s has no bound value", r.Name())
+	}
+	av, ok := v.(*media.AudioValue)
+	if !ok {
+		return fmt.Errorf("activities: %s bound to %T, want AudioValue", r.Name(), v)
+	}
+	if !r.haveT0 {
+		r.started = tc.Now
+		r.haveT0 = true
+		if r.CuePoint() > 0 {
+			r.consumed = int(v.Type().Rate.UnitsIn(r.CuePoint()))
+		}
+	}
+	total := av.NumSamples()
+	if r.consumed >= total {
+		r.MarkDone()
+		return nil
+	}
+	// Honor the value's timeline placement: samples become due only after
+	// the value's start offset has elapsed.
+	elapsed := tc.Interval.End() - r.started - av.Start()
+	if elapsed <= 0 {
+		return nil
+	}
+	cueSamples := int(v.Type().Rate.UnitsIn(r.CuePoint()))
+	target := cueSamples + int(v.Type().Rate.UnitsIn(elapsed))
+	if target > total {
+		target = total
+	}
+	if target <= r.consumed {
+		return nil
+	}
+	block, err := av.Block(r.consumed, target)
+	if err != nil {
+		return err
+	}
+	c := &activity.Chunk{Seq: r.consumed, At: tc.Now, Arrived: tc.Now, Payload: block}
+	if r.stream != nil {
+		dt, err := r.stream.ReadTime(block.Size())
+		if err != nil {
+			return err
+		}
+		c.Arrived += dt
+	}
+	tc.Emit("out", c)
+	r.Emit(activity.EventInfo{Event: activity.EventEachFrame, At: tc.Now, Seq: r.consumed})
+	r.consumed = target
+	if r.consumed >= total {
+		r.Emit(activity.EventInfo{Event: activity.EventLastFrame, At: tc.Now, Seq: r.consumed - 1})
+		r.MarkDone()
+	}
+	return nil
+}
+
+// AudioSynthesizer is a source that renders a MIDI sequence to PCM on
+// first start and then streams it — the paper's "synthesizing digital
+// audio from MIDI data" happening inside the database.
+type AudioSynthesizer struct {
+	*AudioReader
+	seq     *synth.MIDISequence
+	quality media.AudioQuality
+	made    bool
+}
+
+// NewAudioSynthesizer returns a synthesizer source for the sequence at
+// the given quality.
+func NewAudioSynthesizer(name string, loc activity.Location, seq *synth.MIDISequence, q media.AudioQuality) (*AudioSynthesizer, error) {
+	if seq == nil {
+		return nil, fmt.Errorf("activities: AudioSynthesizer needs a sequence")
+	}
+	if q.Type() == nil {
+		return nil, fmt.Errorf("activities: AudioSynthesizer needs a concrete quality, got %v", q)
+	}
+	inner, err := NewAudioReader(name, loc, q.Type())
+	if err != nil {
+		return nil, err
+	}
+	return &AudioSynthesizer{AudioReader: inner, seq: seq, quality: q}, nil
+}
+
+// Class reports "AudioSynthesizer".
+func (s *AudioSynthesizer) Class() string { return "AudioSynthesizer" }
+
+// Tick implements activity.Activity, synthesizing lazily on first tick.
+func (s *AudioSynthesizer) Tick(tc *activity.TickContext) error {
+	if !s.made {
+		a, err := synth.Synthesize(s.seq, s.quality)
+		if err != nil {
+			return err
+		}
+		if err := s.Bind(a, "out"); err != nil {
+			return err
+		}
+		s.made = true
+	}
+	return s.AudioReader.Tick(tc)
+}
+
+// AudioSink consumes audio blocks at a DAC: it validates stream
+// continuity (no gaps or overlaps in sample positions) and keeps deadline
+// statistics.
+type AudioSink struct {
+	*activity.Base
+	quality media.AudioQuality
+
+	next     avtime.ObjectTime
+	haveNext bool
+	samples  int64
+	arrivals []avtime.WorldTime
+	monitor  *sched.Monitor
+}
+
+// NewAudioSink returns a sink accepting the given audio type at the given
+// quality factor.
+func NewAudioSink(name string, loc activity.Location, typ *media.Type, q media.AudioQuality, tolerance avtime.WorldTime) (*AudioSink, error) {
+	if typ.Kind != media.KindAudio {
+		return nil, fmt.Errorf("activities: AudioSink needs an audio type, got %s", typ.Name)
+	}
+	s := &AudioSink{Base: activity.NewBase(name, "AudioSink", loc), quality: q, monitor: sched.NewMonitor(tolerance)}
+	s.AddPort("in", activity.In, typ)
+	return s, nil
+}
+
+// Tick implements activity.Activity.
+func (s *AudioSink) Tick(tc *activity.TickContext) error {
+	in := tc.In("in")
+	if in == nil {
+		return nil
+	}
+	b, ok := in.Payload.(*media.AudioBlock)
+	if !ok {
+		return fmt.Errorf("activities: %s received %T, want audio block", s.Name(), in.Payload)
+	}
+	if s.haveNext && b.Start != s.next {
+		return fmt.Errorf("activities: %s: discontinuity: got sample %d, want %d", s.Name(), b.Start, s.next)
+	}
+	s.next = b.Start + avtime.ObjectTime(b.NumFrames())
+	s.haveNext = true
+	s.samples += int64(b.NumFrames())
+	s.monitor.Record(in.At, in.Arrived)
+	s.arrivals = append(s.arrivals, in.Arrived)
+	return nil
+}
+
+// SamplesPlayed reports the number of sample frames consumed.
+func (s *AudioSink) SamplesPlayed() int64 { return s.samples }
+
+// Arrivals returns per-block actual delivery times.
+func (s *AudioSink) Arrivals() []avtime.WorldTime { return s.arrivals }
+
+// Monitor returns the sink's deadline statistics.
+func (s *AudioSink) Monitor() *sched.Monitor { return s.monitor }
+
+// AudioWriter appends received blocks to the audio value bound to its in
+// port — audio recording.
+type AudioWriter struct {
+	*activity.Base
+}
+
+// NewAudioWriter returns a writer accepting the given audio type.
+func NewAudioWriter(name string, loc activity.Location, typ *media.Type) (*AudioWriter, error) {
+	if typ.Kind != media.KindAudio {
+		return nil, fmt.Errorf("activities: AudioWriter needs an audio type, got %s", typ.Name)
+	}
+	w := &AudioWriter{Base: activity.NewBase(name, "AudioWriter", loc)}
+	w.AddPort("in", activity.In, typ)
+	return w, nil
+}
+
+// Tick implements activity.Activity.
+func (w *AudioWriter) Tick(tc *activity.TickContext) error {
+	in := tc.In("in")
+	if in == nil {
+		return nil
+	}
+	b, ok := in.Payload.(*media.AudioBlock)
+	if !ok {
+		return fmt.Errorf("activities: %s received %T, want audio block", w.Name(), in.Payload)
+	}
+	dst, ok := w.Binding("in")
+	if !ok {
+		return fmt.Errorf("activities: %s has no bound destination", w.Name())
+	}
+	av, ok := dst.(*media.AudioValue)
+	if !ok {
+		return fmt.Errorf("activities: %s bound to %T, want AudioValue", w.Name(), dst)
+	}
+	return av.AppendSamples(b.Samples)
+}

@@ -1,0 +1,62 @@
+package activities
+
+import (
+	"fmt"
+
+	"avdb/internal/activity"
+)
+
+// NewMultiSource returns the empty composite of §4.3's
+//
+//	dbSource = new activity MultiSource
+//
+// Components are added with Install; Seal then exports the multiplexing
+// "out" port over every component's "out" port.
+func NewMultiSource(name string, loc activity.Location) *activity.Composite {
+	return activity.NewComposite(name, "MultiSource", loc)
+}
+
+// SealMultiSource exports the composite's single multiplexed out port
+// over all installed components.  Call after the last Install.
+func SealMultiSource(c *activity.Composite) error {
+	children := c.Children()
+	if len(children) == 0 {
+		return fmt.Errorf("activities: MultiSource %s has no components", c.Name())
+	}
+	refs := make([]activity.TrackRef, 0, len(children))
+	for _, ch := range children {
+		if _, ok := ch.Port("out"); !ok {
+			return fmt.Errorf("activities: component %s has no out port", ch.Name())
+		}
+		refs = append(refs, activity.TrackRef{Child: ch, Port: "out"})
+	}
+	return c.ExportMuxOut("out", refs...)
+}
+
+// NewMultiSink returns the matching sink composite ("appSink = new
+// activity MultiSink").  Synchronization of the component streams is
+// enabled by default — maintaining temporal correlation is the point of
+// the composite (§4.2).
+func NewMultiSink(name string, loc activity.Location) *activity.Composite {
+	c := activity.NewComposite(name, "MultiSink", loc)
+	c.EnableSync(0.3)
+	return c
+}
+
+// SealMultiSink exports the composite's single multiplexed in port over
+// all installed components.  Component names must match the track names
+// the paired MultiSource produces.
+func SealMultiSink(c *activity.Composite) error {
+	children := c.Children()
+	if len(children) == 0 {
+		return fmt.Errorf("activities: MultiSink %s has no components", c.Name())
+	}
+	refs := make([]activity.TrackRef, 0, len(children))
+	for _, ch := range children {
+		if _, ok := ch.Port("in"); !ok {
+			return fmt.Errorf("activities: component %s has no in port", ch.Name())
+		}
+		refs = append(refs, activity.TrackRef{Child: ch, Port: "in"})
+	}
+	return c.ExportMuxIn("in", refs...)
+}

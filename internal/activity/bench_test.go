@@ -1,0 +1,162 @@
+package activity
+
+import (
+	"testing"
+
+	"avdb/internal/media"
+	"avdb/internal/sched"
+)
+
+// BenchmarkGraphChainThroughput streams frames through a three-stage
+// chain and reports frames per wall second.
+func BenchmarkGraphChainThroughput(b *testing.B) {
+	const frames = 300
+	v := media.NewVideoValue(media.TypeRawVideo30, 32, 24, 8)
+	for i := 0; i < frames; i++ {
+		if err := v.AppendFrame(media.NewFrame(32, 24, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := NewGraph("bench")
+		src := newBenchSource("src", v)
+		inv := newBenchInverter("inv")
+		sink := newBenchSink("sink")
+		for _, a := range []Activity{src, inv, sink} {
+			if err := g.Add(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := g.Connect(src, "out", inv, "in"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Connect(inv, "out", sink, "in"); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+			b.Fatal(err)
+		}
+		if sink.n != frames {
+			b.Fatalf("delivered %d", sink.n)
+		}
+	}
+}
+
+// BenchmarkCompositeOverhead measures the composite wrapper against the
+// equivalent flat chain.
+func BenchmarkCompositeOverhead(b *testing.B) {
+	const frames = 300
+	v := media.NewVideoValue(media.TypeRawVideo30, 32, 24, 8)
+	for i := 0; i < frames; i++ {
+		if err := v.AppendFrame(media.NewFrame(32, 24, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := NewGraph("bench")
+		comp := NewComposite("source", "Source", AtDatabase)
+		src := newBenchSource("read", v)
+		inv := newBenchInverter("decode")
+		if err := comp.Install(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := comp.Install(inv); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := comp.ConnectChildren(src, "out", inv, "in"); err != nil {
+			b.Fatal(err)
+		}
+		if err := comp.ExportOut("out", inv, "out"); err != nil {
+			b.Fatal(err)
+		}
+		sink := newBenchSink("sink")
+		if err := g.Add(comp); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Add(sink); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Connect(comp, "out", sink, "in"); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchSource struct {
+	*Base
+	v   *media.VideoValue
+	pos int
+}
+
+func newBenchSource(name string, v *media.VideoValue) *benchSource {
+	s := &benchSource{Base: NewBase(name, "BenchSource", AtDatabase), v: v}
+	s.AddPort("out", Out, media.TypeRawVideo30)
+	return s
+}
+
+func (s *benchSource) Tick(tc *TickContext) error {
+	if s.pos >= s.v.NumFrames() {
+		s.MarkDone()
+		return nil
+	}
+	f, err := s.v.Frame(s.pos)
+	if err != nil {
+		return err
+	}
+	tc.Emit("out", &Chunk{Seq: s.pos, At: tc.Now, Arrived: tc.Now, Payload: f})
+	s.pos++
+	if s.pos >= s.v.NumFrames() {
+		s.MarkDone()
+	}
+	return nil
+}
+
+type benchInverter struct{ *Base }
+
+func newBenchInverter(name string) *benchInverter {
+	t := &benchInverter{Base: NewBase(name, "BenchInverter", AtDatabase)}
+	t.AddPort("in", In, media.TypeRawVideo30)
+	t.AddPort("out", Out, media.TypeRawVideo30)
+	return t
+}
+
+func (t *benchInverter) Tick(tc *TickContext) error {
+	if in := tc.In("in"); in != nil {
+		out := *in
+		tc.Emit("out", &out)
+	}
+	return nil
+}
+
+type benchSink struct {
+	*Base
+	n int
+}
+
+func newBenchSink(name string) *benchSink {
+	s := &benchSink{Base: NewBase(name, "BenchSink", AtApplication)}
+	s.AddPort("in", In, media.TypeRawVideo30)
+	return s
+}
+
+func (s *benchSink) Tick(tc *TickContext) error {
+	if tc.In("in") != nil {
+		s.n++
+	}
+	return nil
+}

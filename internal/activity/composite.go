@@ -1,0 +1,467 @@
+package activity
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/media"
+	"avdb/internal/sched"
+)
+
+// MultiPayload is the element carried by a multiplexed composite stream:
+// one chunk per track, bundled so that temporally correlated tracks cross
+// a single connection together (the paper's single arrow between the
+// MultiSource and MultiSink composites in Fig. 3).
+type MultiPayload struct {
+	Parts map[string]*Chunk // track name -> the track's chunk this tick
+}
+
+// ElementKind reports media.KindMulti.
+func (m *MultiPayload) ElementKind() media.Kind { return media.KindMulti }
+
+// Size reports the total payload size of all parts.
+func (m *MultiPayload) Size() int64 {
+	var n int64
+	for _, c := range m.Parts {
+		n += c.Size()
+	}
+	return n
+}
+
+// Composite is a composite activity — flow-composition rule 2: an
+// activity containing component activities, whose ports re-export
+// component ports.  A composite that processes a temporally composed
+// value contains one component per track and "would maintain the
+// synchronization of its component activities" (§4.2); EnableSync turns
+// that resynchronization on.
+type Composite struct {
+	*Base
+
+	mu         sync.Mutex
+	children   map[string]Activity
+	childOrder []string
+	internal   []*Connection
+	// exports: composite port name -> (child, child port name)
+	exportsIn  map[string]portRef
+	exportsOut map[string]portRef
+	// mux ports: composite port name -> set of (track=child name, port)
+	muxOut map[string][]portRef
+	muxIn  map[string][]portRef
+	sync   *sched.Resync
+}
+
+type portRef struct {
+	child Activity
+	port  string
+}
+
+// NewComposite returns an empty composite activity.
+func NewComposite(name, class string, loc Location) *Composite {
+	return &Composite{
+		Base:       NewBase(name, class, loc),
+		children:   make(map[string]Activity),
+		exportsIn:  make(map[string]portRef),
+		exportsOut: make(map[string]portRef),
+		muxOut:     make(map[string][]portRef),
+		muxIn:      make(map[string][]portRef),
+	}
+}
+
+// Install adds a component activity — the paper's "install (new activity
+// VideoSource ...) in dbSource".  Components must share the composite's
+// location.
+func (c *Composite) Install(child Activity) error {
+	if child.Location() != c.Location() {
+		return fmt.Errorf("activity: component %s at %v cannot join composite %s at %v",
+			child.Name(), child.Location(), c.Name(), c.Location())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.children[child.Name()]; dup {
+		return fmt.Errorf("activity: composite %s already contains %q", c.Name(), child.Name())
+	}
+	c.children[child.Name()] = child
+	c.childOrder = append(c.childOrder, child.Name())
+	return nil
+}
+
+// Children returns the component activities in installation order.
+func (c *Composite) Children() []Activity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Activity, len(c.childOrder))
+	for i, n := range c.childOrder {
+		out[i] = c.children[n]
+	}
+	return out
+}
+
+// Child returns the named component.
+func (c *Composite) Child(name string) (Activity, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.children[name]
+	return a, ok
+}
+
+// ConnectChildren wires two components inside the composite; the same
+// typing rules as Graph.Connect apply.
+func (c *Composite) ConnectChildren(from Activity, outPort string, to Activity, inPort string) (*Connection, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.children[from.Name()]; !ok {
+		return nil, fmt.Errorf("activity: composite %s does not contain %q", c.Name(), from.Name())
+	}
+	if _, ok := c.children[to.Name()]; !ok {
+		return nil, fmt.Errorf("activity: composite %s does not contain %q", c.Name(), to.Name())
+	}
+	fp, ok := from.Port(outPort)
+	if !ok || fp.Dir() != Out {
+		return nil, fmt.Errorf("activity: %s has no out port %q", from.Name(), outPort)
+	}
+	tp, ok := to.Port(inPort)
+	if !ok || tp.Dir() != In {
+		return nil, fmt.Errorf("activity: %s has no in port %q", to.Name(), inPort)
+	}
+	if fp.Type() != tp.Type() {
+		return nil, fmt.Errorf("activity: port types differ: %v vs %v", fp, tp)
+	}
+	conn := &Connection{from: from, fromPort: fp, to: to, toPort: tp}
+	c.internal = append(c.internal, conn)
+	return conn, nil
+}
+
+// ExportIn re-exports a component's In port as a composite In port of the
+// same type ("it is possible to connect an 'out' port of a component to
+// the 'out' of the composite ... a similar rule applies to 'in' ports").
+func (c *Composite) ExportIn(name string, child Activity, childPort string) error {
+	p, err := c.checkExport(child, childPort, In)
+	if err != nil {
+		return err
+	}
+	c.AddPort(name, In, p.Type())
+	c.mu.Lock()
+	c.exportsIn[name] = portRef{child, childPort}
+	c.mu.Unlock()
+	return nil
+}
+
+// ExportOut re-exports a component's Out port as a composite Out port.
+func (c *Composite) ExportOut(name string, child Activity, childPort string) error {
+	p, err := c.checkExport(child, childPort, Out)
+	if err != nil {
+		return err
+	}
+	c.AddPort(name, Out, p.Type())
+	c.mu.Lock()
+	c.exportsOut[name] = portRef{child, childPort}
+	c.mu.Unlock()
+	return nil
+}
+
+// ExportMuxOut declares a multiplexing Out port of type multi/tracks that
+// bundles the given component Out ports; each component's stream becomes
+// a track named after the component.
+func (c *Composite) ExportMuxOut(name string, refs ...TrackRef) error {
+	if len(refs) == 0 {
+		return fmt.Errorf("activity: mux port %q needs at least one track", name)
+	}
+	var prs []portRef
+	for _, r := range refs {
+		if _, err := c.checkExport(r.Child, r.Port, Out); err != nil {
+			return err
+		}
+		prs = append(prs, portRef{r.Child, r.Port})
+	}
+	c.AddPort(name, Out, media.TypeMultiTrack)
+	c.mu.Lock()
+	c.muxOut[name] = prs
+	c.mu.Unlock()
+	return nil
+}
+
+// ExportMuxIn declares a demultiplexing In port of type multi/tracks that
+// routes each track to the component of the same name through the given
+// In port.
+func (c *Composite) ExportMuxIn(name string, refs ...TrackRef) error {
+	if len(refs) == 0 {
+		return fmt.Errorf("activity: mux port %q needs at least one track", name)
+	}
+	var prs []portRef
+	for _, r := range refs {
+		if _, err := c.checkExport(r.Child, r.Port, In); err != nil {
+			return err
+		}
+		prs = append(prs, portRef{r.Child, r.Port})
+	}
+	c.AddPort(name, In, media.TypeMultiTrack)
+	c.mu.Lock()
+	c.muxIn[name] = prs
+	c.mu.Unlock()
+	return nil
+}
+
+// TrackRef names a component port participating in a mux port.
+type TrackRef struct {
+	Child Activity
+	Port  string
+}
+
+func (c *Composite) checkExport(child Activity, childPort string, dir Dir) (*Port, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.children[child.Name()]; !ok {
+		return nil, fmt.Errorf("activity: composite %s does not contain %q", c.Name(), child.Name())
+	}
+	p, ok := child.Port(childPort)
+	if !ok {
+		return nil, fmt.Errorf("activity: %s has no port %q", child.Name(), childPort)
+	}
+	if p.Dir() != dir {
+		return nil, fmt.Errorf("activity: %v direction mismatch for export", p)
+	}
+	return p, nil
+}
+
+// EnableSync attaches a resynchronization controller so the composite
+// keeps its tracks temporally correlated; alpha is the estimator's
+// smoothing factor.
+func (c *Composite) EnableSync(alpha float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sync = sched.NewResync(alpha)
+}
+
+// SyncController returns the resynchronization controller, if enabled.
+func (c *Composite) SyncController() *sched.Resync {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync
+}
+
+// Start starts the composite and all components.
+func (c *Composite) Start() error {
+	for _, child := range c.Children() {
+		if err := child.Start(); err != nil {
+			return err
+		}
+	}
+	return c.Base.Start()
+}
+
+// Stop stops the composite and all components.
+func (c *Composite) Stop() error {
+	for _, child := range c.Children() {
+		_ = child.Stop()
+	}
+	return c.Base.Stop()
+}
+
+// Tick implements Activity: it routes composite inputs to components,
+// runs the components in internal topological order with their latencies
+// and the synchronization corrections applied, and assembles composite
+// outputs.
+func (c *Composite) Tick(tc *TickContext) error {
+	c.mu.Lock()
+	children := make([]Activity, len(c.childOrder))
+	for i, n := range c.childOrder {
+		children[i] = c.children[n]
+	}
+	internal := append([]*Connection(nil), c.internal...)
+	exportsIn := copyRefs(c.exportsIn)
+	exportsOut := copyRefs(c.exportsOut)
+	muxOut := copyMux(c.muxOut)
+	muxIn := copyMux(c.muxIn)
+	syncCtl := c.sync
+	c.mu.Unlock()
+
+	order, err := topoChildren(children, internal)
+	if err != nil {
+		return err
+	}
+
+	ctxs := make(map[string]*TickContext, len(order))
+	for _, child := range order {
+		ctxs[child.Name()] = NewTickContext(tc.Now, tc.Seq, tc.Interval)
+	}
+
+	// Route composite inputs.
+	for name, ref := range exportsIn {
+		if in := tc.In(name); in != nil {
+			cp := *in
+			ctxs[ref.child.Name()].SetIn(ref.port, &cp)
+		}
+	}
+	for name, refs := range muxIn {
+		in := tc.In(name)
+		if in == nil {
+			continue
+		}
+		mp, ok := in.Payload.(*MultiPayload)
+		if !ok {
+			return fmt.Errorf("activity: %s.%s received non-multiplexed payload", c.Name(), name)
+		}
+		for _, ref := range refs {
+			part := mp.Parts[ref.child.Name()]
+			if part == nil {
+				continue
+			}
+			cp := *part
+			if syncCtl != nil {
+				lat := cp.Arrived - cp.At
+				if lat < 0 {
+					lat = 0
+				}
+				cp.Arrived += syncCtl.Correction(ref.child.Name())
+				syncCtl.Observe(ref.child.Name(), lat)
+			}
+			ctxs[ref.child.Name()].SetIn(ref.port, &cp)
+		}
+	}
+
+	// Run components.
+	outputs := make(map[string]map[string]*Chunk, len(order)) // child -> port -> chunk
+	for _, child := range order {
+		ctx := ctxs[child.Name()]
+		// Feed internal connections from already-run components.
+		for _, conn := range internal {
+			if conn.to.Name() != child.Name() {
+				continue
+			}
+			if srcOuts := outputs[conn.from.Name()]; srcOuts != nil {
+				if chunk := srcOuts[conn.fromPort.Name()]; chunk != nil {
+					delivered, err := conn.deliver(chunk)
+					if err != nil {
+						return err
+					}
+					ctx.SetIn(conn.toPort.Name(), delivered)
+				}
+			}
+		}
+		if child.State() != StateStarted {
+			continue
+		}
+		if err := child.Tick(ctx); err != nil {
+			return fmt.Errorf("activity: composite %s component %s: %w", c.Name(), child.Name(), err)
+		}
+		lat := sampleLatency(child)
+		outs := make(map[string]*Chunk)
+		for port, chunk := range ctx.Outputs() {
+			if chunk == nil {
+				continue
+			}
+			if chunk.Arrived < tc.Now {
+				chunk.Arrived = tc.Now
+			}
+			chunk.Arrived += lat
+			propagateExtra(chunk, lat)
+			if chunk.Track == "" {
+				chunk.Track = child.Name()
+			}
+			outs[port] = chunk
+		}
+		outputs[child.Name()] = outs
+	}
+
+	// Assemble composite outputs.
+	for name, ref := range exportsOut {
+		if outs := outputs[ref.child.Name()]; outs != nil {
+			if chunk := outs[ref.port]; chunk != nil {
+				tc.Emit(name, chunk)
+			}
+		}
+	}
+	for name, refs := range muxOut {
+		mp := &MultiPayload{Parts: make(map[string]*Chunk, len(refs))}
+		for _, ref := range refs {
+			if outs := outputs[ref.child.Name()]; outs != nil {
+				if chunk := outs[ref.port]; chunk != nil {
+					mp.Parts[ref.child.Name()] = chunk
+				}
+			}
+		}
+		if len(mp.Parts) == 0 {
+			continue
+		}
+		outer := &Chunk{Seq: tc.Seq, At: tc.Now, Arrived: MaxArrival(partList(mp)...), Payload: mp}
+		tc.Emit(name, outer)
+	}
+
+	// A source composite finishes when all its source components have.
+	if c.Kind() == KindSource {
+		done := true
+		for _, child := range children {
+			if child.Kind() == KindSource && child.State() == StateStarted {
+				done = false
+				break
+			}
+		}
+		if done {
+			c.MarkDone()
+		}
+	}
+	return nil
+}
+
+func partList(mp *MultiPayload) []*Chunk {
+	out := make([]*Chunk, 0, len(mp.Parts))
+	for _, c := range mp.Parts {
+		out = append(out, c)
+	}
+	return out
+}
+
+func copyRefs(m map[string]portRef) map[string]portRef {
+	out := make(map[string]portRef, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyMux(m map[string][]portRef) map[string][]portRef {
+	out := make(map[string][]portRef, len(m))
+	for k, v := range m {
+		out[k] = append([]portRef(nil), v...)
+	}
+	return out
+}
+
+// topoChildren orders components topologically by internal connections.
+func topoChildren(children []Activity, conns []*Connection) ([]Activity, error) {
+	indeg := make(map[string]int, len(children))
+	adj := make(map[string][]string)
+	byName := make(map[string]Activity, len(children))
+	var order []string
+	for _, ch := range children {
+		indeg[ch.Name()] = 0
+		byName[ch.Name()] = ch
+		order = append(order, ch.Name())
+	}
+	for _, c := range conns {
+		adj[c.from.Name()] = append(adj[c.from.Name()], c.to.Name())
+		indeg[c.to.Name()]++
+	}
+	var queue []string
+	for _, n := range order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	out := make([]Activity, 0, len(children))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, byName[n])
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(out) != len(children) {
+		return nil, fmt.Errorf("activity: composite contains a component cycle")
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package activity
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/avtime"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+)
+
+// Connection links an Out port to an In port — the paper's flow-
+// composition rule 1: "an 'in' port can be connected to an 'out' port
+// provided they are of the same data type."  A connection may ride a
+// reserved network connection, in which case every chunk crossing it pays
+// (and accounts) the transfer time.
+type Connection struct {
+	from     Activity
+	fromPort *Port
+	to       Activity
+	toPort   *Port
+	net      *netsim.Conn
+
+	mu     sync.Mutex
+	bytes  int64
+	chunks int64
+}
+
+// From returns the upstream activity and port.
+func (c *Connection) From() (Activity, *Port) { return c.from, c.fromPort }
+
+// To returns the downstream activity and port.
+func (c *Connection) To() (Activity, *Port) { return c.to, c.toPort }
+
+// Network returns the reserved network connection, if any.
+func (c *Connection) Network() *netsim.Conn { return c.net }
+
+// BytesCarried reports the total payload bytes moved over the connection.
+func (c *Connection) BytesCarried() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Chunks reports the number of chunks moved.
+func (c *Connection) Chunks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chunks
+}
+
+// String formats the connection.
+func (c *Connection) String() string {
+	return fmt.Sprintf("%s -> %s", c.fromPort, c.toPort)
+}
+
+// deliver moves a chunk across the connection, returning the copy that
+// arrives downstream with transfer latency applied.
+func (c *Connection) deliver(in *Chunk) (*Chunk, error) {
+	out := *in
+	if c.net != nil {
+		dt, err := c.net.Transfer(in.Size())
+		if err != nil {
+			return nil, fmt.Errorf("activity: %v: %w", c, err)
+		}
+		out.Arrived += dt
+		propagateExtra(&out, dt)
+	}
+	c.mu.Lock()
+	c.bytes += in.Size()
+	c.chunks++
+	c.mu.Unlock()
+	return &out, nil
+}
+
+// Graph is an activity graph: the unit of flow composition.  Nodes are
+// activities; edges are typed port connections.  A graph runs tick by
+// tick against a virtual clock.
+type Graph struct {
+	name string
+
+	mu    sync.Mutex
+	nodes map[string]Activity
+	order []string
+	conns []*Connection
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{name: name, nodes: make(map[string]Activity)}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// Add inserts an activity; duplicate names are an error.
+func (g *Graph) Add(a Activity) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.nodes[a.Name()]; dup {
+		return fmt.Errorf("activity: graph %q already has node %q", g.name, a.Name())
+	}
+	g.nodes[a.Name()] = a
+	g.order = append(g.order, a.Name())
+	return nil
+}
+
+// Node returns the activity with the given name.
+func (g *Graph) Node(name string) (Activity, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.nodes[name]
+	return a, ok
+}
+
+// Nodes returns the activities in insertion order.
+func (g *Graph) Nodes() []Activity {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ns := make([]Activity, len(g.order))
+	for i, n := range g.order {
+		ns[i] = g.nodes[n]
+	}
+	return ns
+}
+
+// Connections returns the graph's connections.
+func (g *Graph) Connections() []*Connection {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Connection(nil), g.conns...)
+}
+
+// Connect wires from's Out port to to's In port.
+func (g *Graph) Connect(from Activity, outPort string, to Activity, inPort string) (*Connection, error) {
+	return g.ConnectVia(from, outPort, to, inPort, nil)
+}
+
+// ConnectVia wires a connection that rides a reserved network connection.
+func (g *Graph) ConnectVia(from Activity, outPort string, to Activity, inPort string, nc *netsim.Conn) (*Connection, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[from.Name()]; !ok {
+		return nil, fmt.Errorf("activity: graph %q does not contain %q", g.name, from.Name())
+	}
+	if _, ok := g.nodes[to.Name()]; !ok {
+		return nil, fmt.Errorf("activity: graph %q does not contain %q", g.name, to.Name())
+	}
+	fp, ok := from.Port(outPort)
+	if !ok {
+		return nil, fmt.Errorf("activity: %s has no port %q", from.Name(), outPort)
+	}
+	tp, ok := to.Port(inPort)
+	if !ok {
+		return nil, fmt.Errorf("activity: %s has no port %q", to.Name(), inPort)
+	}
+	if fp.Dir() != Out {
+		return nil, fmt.Errorf("activity: %v is not an out port", fp)
+	}
+	if tp.Dir() != In {
+		return nil, fmt.Errorf("activity: %v is not an in port", tp)
+	}
+	if fp.Type() != tp.Type() {
+		return nil, fmt.Errorf("activity: port types differ: %v vs %v", fp, tp)
+	}
+	for _, c := range g.conns {
+		if c.toPort == tp {
+			return nil, fmt.Errorf("activity: %v already connected", tp)
+		}
+	}
+	conn := &Connection{from: from, fromPort: fp, to: to, toPort: tp, net: nc}
+	g.conns = append(g.conns, conn)
+	return conn, nil
+}
+
+// topo returns the activities in topological order, erroring on cycles.
+func (g *Graph) topo() ([]Activity, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	indeg := make(map[string]int, len(g.nodes))
+	adj := make(map[string][]string, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = 0
+	}
+	for _, c := range g.conns {
+		adj[c.from.Name()] = append(adj[c.from.Name()], c.to.Name())
+		indeg[c.to.Name()]++
+	}
+	var queue []string
+	for _, n := range g.order { // insertion order keeps runs deterministic
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	out := make([]Activity, 0, len(g.nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, g.nodes[n])
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("activity: graph %q contains a cycle", g.name)
+	}
+	return out, nil
+}
+
+// Start starts every node in the graph.
+func (g *Graph) Start() error {
+	for _, a := range g.Nodes() {
+		if err := a.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop stops every node in the graph.
+func (g *Graph) Stop() {
+	for _, a := range g.Nodes() {
+		_ = a.Stop()
+	}
+}
+
+// RunConfig parameterizes one graph run.
+type RunConfig struct {
+	Clock    *sched.VirtualClock // required
+	Rate     avtime.Rate         // tick rate; defaults to 30Hz
+	MaxTicks int                 // safety bound; defaults to 10 million
+}
+
+// RunStats summarizes a completed run.
+type RunStats struct {
+	Ticks      int              // scheduling intervals executed
+	Elapsed    avtime.WorldTime // world time the run spanned
+	Chunks     int64            // chunks delivered over connections
+	BytesMoved int64            // payload bytes delivered over connections
+}
+
+// Run executes the graph until every source has exhausted its stream (or
+// every node has stopped), advancing the clock one tick at a time.  Nodes
+// must have been started; Run returns immediately if nothing is running.
+func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("activity: RunConfig needs a clock")
+	}
+	rate := cfg.Rate
+	if rate.IsZero() {
+		rate = avtime.RateVideo30
+	}
+	maxTicks := cfg.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = 10_000_000
+	}
+	order, err := g.topo()
+	if err != nil {
+		return nil, err
+	}
+	// A finished run leaves every activity quiescent so the graph can be
+	// cued and started again.
+	defer g.Stop()
+	incoming := make(map[string][]*Connection)
+	for _, c := range g.Connections() {
+		incoming[c.to.Name()] = append(incoming[c.to.Name()], c)
+	}
+
+	stats := &RunStats{}
+	startAt := cfg.Clock.Now()
+	for tick := 0; tick < maxTicks; tick++ {
+		now := startAt + rate.DurationOf(avtime.ObjectTime(tick))
+		iv := avtime.Interval{Start: now, Dur: rate.UnitDuration()}
+
+		anyRunning := false
+		produced := make(map[*Port]*Chunk)
+		for _, node := range order {
+			if node.State() != StateStarted {
+				continue
+			}
+			anyRunning = true
+			tc := NewTickContext(now, tick, iv)
+			for _, conn := range incoming[node.Name()] {
+				src := produced[conn.fromPort]
+				if src == nil {
+					continue
+				}
+				delivered, err := conn.deliver(src)
+				if err != nil {
+					return stats, err
+				}
+				tc.SetIn(conn.toPort.Name(), delivered)
+				stats.Chunks++
+				stats.BytesMoved += delivered.Size()
+			}
+			if err := node.Tick(tc); err != nil {
+				return stats, fmt.Errorf("activity: %s at tick %d: %w", node.Name(), tick, err)
+			}
+			lat := sampleLatency(node)
+			for port, c := range tc.Outputs() {
+				if c == nil {
+					continue
+				}
+				if c.Arrived < now {
+					c.Arrived = now
+				}
+				c.Arrived += lat
+				propagateExtra(c, lat)
+				p, ok := node.Port(port)
+				if !ok {
+					return stats, fmt.Errorf("activity: %s emitted on unknown port %q", node.Name(), port)
+				}
+				produced[p] = c
+			}
+		}
+
+		stats.Ticks++
+		cfg.Clock.AdvanceTo(now + rate.UnitDuration())
+		stats.Elapsed = cfg.Clock.Now() - startAt
+		if !anyRunning {
+			break
+		}
+		if g.sourcesFinished() {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// sourcesFinished reports whether no source activity remains started.
+func (g *Graph) sourcesFinished() bool {
+	for _, a := range g.Nodes() {
+		if a.Kind() == KindSource && a.State() == StateStarted {
+			return false
+		}
+	}
+	return true
+}
+
+// latencySampler is satisfied by *Base and therefore by every concrete
+// activity.
+type latencySampler interface {
+	SampleLatency() avtime.WorldTime
+}
+
+func sampleLatency(a Activity) avtime.WorldTime {
+	if ls, ok := a.(latencySampler); ok {
+		return ls.SampleLatency()
+	}
+	return 0
+}
+
+// propagateExtra adds a shared path delay to every part of a multiplexed
+// payload, keeping part arrival times consistent with the outer chunk's.
+func propagateExtra(c *Chunk, extra avtime.WorldTime) {
+	if extra == 0 {
+		return
+	}
+	if mp, ok := c.Payload.(*MultiPayload); ok {
+		for _, part := range mp.Parts {
+			part.Arrived += extra
+		}
+	}
+}
+
+// MaxArrival reports the latest arrival time among chunks, for
+// transformers that merge inputs.
+func MaxArrival(chunks ...*Chunk) avtime.WorldTime {
+	var worst avtime.WorldTime
+	for _, c := range chunks {
+		if c != nil && c.Arrived > worst {
+			worst = c.Arrived
+		}
+	}
+	return worst
+}

@@ -1,0 +1,88 @@
+package avtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Timecode is a non-drop-frame SMPTE-style timecode HH:MM:SS:FF at an
+// integer frame rate.  The paper's video subclasses "measure object time
+// using video timecode (where the smallest unit is 1/30th of a second)";
+// Timecode provides that unit system for any integer rate.
+type Timecode struct {
+	Hour, Min, Sec, Frame int
+	FPS                   int // frames per second, > 0
+}
+
+// TimecodeFromFrames converts a frame count to a timecode at fps frames
+// per second.  Negative frame counts are clamped to zero; timecodes label
+// positions within a value, which start at frame zero.
+func TimecodeFromFrames(frames ObjectTime, fps int) Timecode {
+	if fps <= 0 {
+		fps = 30
+	}
+	f := int64(frames)
+	if f < 0 {
+		f = 0
+	}
+	tc := Timecode{FPS: fps}
+	tc.Frame = int(f % int64(fps))
+	secs := f / int64(fps)
+	tc.Sec = int(secs % 60)
+	mins := secs / 60
+	tc.Min = int(mins % 60)
+	tc.Hour = int(mins / 60)
+	return tc
+}
+
+// Frames reports the timecode's position as a frame count.
+func (tc Timecode) Frames() ObjectTime {
+	fps := tc.FPS
+	if fps <= 0 {
+		fps = 30
+	}
+	secs := int64(tc.Hour)*3600 + int64(tc.Min)*60 + int64(tc.Sec)
+	return ObjectTime(secs*int64(fps) + int64(tc.Frame))
+}
+
+// WorldTime reports the world time of the timecode's frame boundary.
+func (tc Timecode) WorldTime() WorldTime {
+	fps := tc.FPS
+	if fps <= 0 {
+		fps = 30
+	}
+	return MakeRate(int64(fps), 1).DurationOf(tc.Frames())
+}
+
+// String formats the timecode as "HH:MM:SS:FF".
+func (tc Timecode) String() string {
+	return fmt.Sprintf("%02d:%02d:%02d:%02d", tc.Hour, tc.Min, tc.Sec, tc.Frame)
+}
+
+// ParseTimecode parses "HH:MM:SS:FF" at the given frame rate.
+func ParseTimecode(s string, fps int) (Timecode, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return Timecode{}, fmt.Errorf("avtime: malformed timecode %q: want HH:MM:SS:FF", s)
+	}
+	if fps <= 0 {
+		return Timecode{}, fmt.Errorf("avtime: timecode rate must be positive, got %d", fps)
+	}
+	var vals [4]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return Timecode{}, fmt.Errorf("avtime: malformed timecode %q: %v", s, err)
+		}
+		if v < 0 {
+			return Timecode{}, fmt.Errorf("avtime: malformed timecode %q: negative field", s)
+		}
+		vals[i] = v
+	}
+	tc := Timecode{Hour: vals[0], Min: vals[1], Sec: vals[2], Frame: vals[3], FPS: fps}
+	if tc.Min > 59 || tc.Sec > 59 || tc.Frame >= fps {
+		return Timecode{}, fmt.Errorf("avtime: timecode %q out of range at %d fps", s, fps)
+	}
+	return tc, nil
+}

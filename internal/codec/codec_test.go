@@ -1,0 +1,666 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+// smoothVideo builds n frames of a horizontal gradient with a small moving
+// box — smooth enough to compress, dynamic enough to exercise P frames.
+func smoothVideo(n, w, h int) *media.VideoValue {
+	v := media.NewVideoValue(media.TypeRawVideo30, w, h, 8)
+	for i := 0; i < n; i++ {
+		f := media.NewFrame(w, h, 8)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				f.Set(x, y, byte(x*255/w))
+			}
+		}
+		// Moving 4x4 box.
+		bx := (i * 2) % (w - 4)
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				f.Set(bx+x, y, 255)
+			}
+		}
+		if err := v.AppendFrame(f); err != nil {
+			panic(err)
+		}
+	}
+	return v
+}
+
+// staticVideo builds n identical frames.
+func staticVideo(n, w, h int) *media.VideoValue {
+	v := media.NewVideoValue(media.TypeRawVideo30, w, h, 8)
+	for i := 0; i < n; i++ {
+		f := media.NewFrame(w, h, 8)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				f.Set(x, y, byte((x+y)%251))
+			}
+		}
+		if err := v.AppendFrame(f); err != nil {
+			panic(err)
+		}
+	}
+	return v
+}
+
+func maxPixelError(a, b *media.VideoValue) int {
+	if a.NumFrames() != b.NumFrames() {
+		return 1 << 20
+	}
+	var worst int
+	for i := 0; i < a.NumFrames(); i++ {
+		fa, _ := a.Frame(i)
+		fb, _ := b.Frame(i)
+		for p := range fa.Pix {
+			d := int(fa.Pix[p]) - int(fb.Pix[p])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := rleEncode(nil, src)
+		dec, err := rleDecode(nil, enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLERunsCompress(t *testing.T) {
+	src := bytes.Repeat([]byte{7}, 10_000)
+	enc := rleEncode(nil, src)
+	if len(enc) > len(src)/50 {
+		t.Errorf("10k-byte run encoded to %d bytes", len(enc))
+	}
+	dec, err := rleDecode(nil, enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("run round trip failed")
+	}
+}
+
+func TestRLEEmptyAndErrors(t *testing.T) {
+	if enc := rleEncode(nil, nil); len(enc) != 0 {
+		t.Error("empty input encoded to non-empty")
+	}
+	if _, err := rleDecode(nil, []byte{128}); err == nil {
+		t.Error("reserved control byte accepted")
+	}
+	if _, err := rleDecode(nil, []byte{5, 1, 2}); err == nil {
+		t.Error("truncated literal accepted")
+	}
+	if _, err := rleDecode(nil, []byte{200}); err == nil {
+		t.Error("truncated repeat accepted")
+	}
+}
+
+func TestIntraLosslessAtQ0(t *testing.T) {
+	c := &Intra{CodecName: "test-lossless", Typ: TypeJPEGVideo, Quant: 0}
+	v := smoothVideo(5, 32, 24)
+	e, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxPixelError(v, d); got != 0 {
+		t.Errorf("lossless intra max error = %d", got)
+	}
+}
+
+func TestIntraErrorBound(t *testing.T) {
+	v := smoothVideo(5, 32, 24)
+	e, err := JPEG.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := JPEG.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quant 2 drops 2 bits: error bounded by 2^1 = 2.
+	if got := maxPixelError(v, d); got > 2 {
+		t.Errorf("intra q=2 max error = %d, want <= 2", got)
+	}
+	if e.CompressionRatio() < 2 {
+		t.Errorf("smooth content compressed only %.2f:1", e.CompressionRatio())
+	}
+}
+
+func TestIntraQuantValidation(t *testing.T) {
+	c := &Intra{CodecName: "bad", Typ: TypeJPEGVideo, Quant: 9}
+	if _, err := c.Encode(smoothVideo(1, 8, 8)); err == nil {
+		t.Error("quant 9 accepted")
+	}
+}
+
+func TestDVIRoundTrip(t *testing.T) {
+	v := smoothVideo(5, 32, 24)
+	e, err := DVICodec.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DVICodec.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 32 || d.Height() != 24 {
+		t.Errorf("DVI decode geometry %dx%d", d.Width(), d.Height())
+	}
+	// 2x2 box downsampling of the 8px/255 gradient costs at most ~half a
+	// pixel step plus quantization; bound loosely.
+	if got := maxPixelError(v, d); got > 24 {
+		t.Errorf("DVI max error = %d, want <= 24", got)
+	}
+	// DVI must compress harder than full-resolution intra.
+	je, err := JPEG.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() >= je.Size() {
+		t.Errorf("DVI size %d not below JPEG size %d", e.Size(), je.Size())
+	}
+}
+
+func TestDVIOddGeometry(t *testing.T) {
+	v := smoothVideo(2, 33, 25)
+	e, err := DVICodec.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DVICodec.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 33 || d.Height() != 25 {
+		t.Errorf("odd geometry decode %dx%d", d.Width(), d.Height())
+	}
+}
+
+func TestInterLosslessAtQ0(t *testing.T) {
+	c := &Inter{Quant: 0, GOPN: 5}
+	v := smoothVideo(17, 32, 24)
+	e, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxPixelError(v, d); got != 0 {
+		t.Errorf("lossless inter max error = %d", got)
+	}
+}
+
+func TestInterKeyFrameStructure(t *testing.T) {
+	c := &Inter{Quant: 2, GOPN: 5}
+	v := smoothVideo(12, 32, 24)
+	e, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e.NumFrames(); i++ {
+		f, _ := e.FrameData(i)
+		if want := i%5 == 0; f.Key != want {
+			t.Errorf("frame %d key = %v, want %v", i, f.Key, want)
+		}
+	}
+	if k, _ := e.KeyFrameBefore(7); k != 5 {
+		t.Errorf("KeyFrameBefore(7) = %d, want 5", k)
+	}
+	if _, err := e.KeyFrameBefore(99); !errors.Is(err, media.ErrOutOfRange) {
+		t.Error("KeyFrameBefore past end succeeded")
+	}
+}
+
+func TestInterRandomAccessMatchesSequential(t *testing.T) {
+	c := &Inter{Quant: 2, GOPN: 5}
+	v := smoothVideo(13, 32, 24)
+	e, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 4, 5, 7, 12} {
+		rf, err := c.DecodeFrame(e, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, _ := d.Frame(i)
+		if !rf.Equal(sf) {
+			t.Errorf("random-access frame %d differs from sequential decode", i)
+		}
+	}
+}
+
+func TestInterBeatsIntraOnStaticContent(t *testing.T) {
+	v := staticVideo(30, 32, 24)
+	ie, err := MPEG.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	je, err := JPEG.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ie.Size()*2 >= je.Size() {
+		t.Errorf("inter %d bytes not well below intra %d bytes on static video", ie.Size(), je.Size())
+	}
+}
+
+func TestInterGOPValidation(t *testing.T) {
+	c := &Inter{Quant: 2, GOPN: 0}
+	if _, err := c.Encode(smoothVideo(1, 8, 8)); err == nil {
+		t.Error("GOP 0 accepted")
+	}
+}
+
+func TestScalableFullDecodeLossless(t *testing.T) {
+	v := smoothVideo(4, 32, 24)
+	sc := ScalableCodec.(*Scalable)
+	e, err := sc.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxPixelError(v, d); got != 0 {
+		t.Errorf("full-layer scalable decode max error = %d", got)
+	}
+}
+
+func TestScalableQualityImprovesWithLayers(t *testing.T) {
+	v := smoothVideo(3, 32, 24)
+	sc := ScalableCodec.(*Scalable)
+	e, err := sc.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs [NumLayers]int
+	for k := 1; k <= NumLayers; k++ {
+		d, err := sc.DecodeLayers(e, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[k-1] = maxPixelError(v, d)
+	}
+	if !(errs[0] >= errs[1] && errs[1] >= errs[2] && errs[2] == 0) {
+		t.Errorf("layer errors not monotone: %v", errs)
+	}
+	if errs[0] == 0 {
+		t.Error("single-layer decode suspiciously lossless")
+	}
+}
+
+func TestScalableDropLayers(t *testing.T) {
+	v := smoothVideo(3, 32, 24)
+	sc := ScalableCodec.(*Scalable)
+	e, err := sc.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := DropLayers(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Size() >= e.Size() {
+		t.Errorf("dropping layers did not shrink: %d -> %d", e.Size(), dropped.Size())
+	}
+	if dropped.Layers() != 1 {
+		t.Errorf("Layers = %d", dropped.Layers())
+	}
+	// Base-layer decode of the dropped value matches base-layer decode of
+	// the full value.
+	d1, err := sc.DecodeLayers(dropped, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sc.DecodeLayers(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Error("base layer differs after DropLayers")
+	}
+	// Requesting more layers than remain fails.
+	if _, err := sc.DecodeLayers(dropped, 2); err == nil {
+		t.Error("decode with dropped layer succeeded")
+	}
+	if _, err := DropLayers(e, 0); err == nil {
+		t.Error("DropLayers(0) succeeded")
+	}
+	if _, err := DropLayers(e, 4); err == nil {
+		t.Error("DropLayers(4) succeeded")
+	}
+	je, _ := JPEG.Encode(v)
+	if _, err := DropLayers(je, 1); err == nil {
+		t.Error("DropLayers on non-scalable value succeeded")
+	}
+}
+
+func TestEncodedVideoValueInterface(t *testing.T) {
+	v := smoothVideo(60, 16, 12)
+	e, err := JPEG.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var val media.Value = e
+	if val.Type() != TypeJPEGVideo {
+		t.Error("type wrong")
+	}
+	if val.Duration() != 2*avtime.Second {
+		t.Errorf("duration = %v, want 2s", val.Duration())
+	}
+	el, err := val.Element(avtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef := el.(*EncodedFrame); !ef.Key || ef.ElementKind() != media.KindVideo {
+		t.Error("encoded element wrong")
+	}
+	val.Translate(10 * avtime.Second)
+	if val.Start() != 10*avtime.Second {
+		t.Error("translate failed")
+	}
+	val.Scale(2)
+	if val.Duration() != avtime.Second {
+		t.Errorf("scaled duration = %v", val.Duration())
+	}
+	if _, err := val.ElementAt(-1); !errors.Is(err, media.ErrOutOfRange) {
+		t.Error("negative element access succeeded")
+	}
+	if e.RawSize() != 60*16*12 {
+		t.Errorf("RawSize = %d", e.RawSize())
+	}
+	if e.GOP() != 1 || e.Codec() != "jpeg-sim" || e.Width() != 16 || e.Height() != 12 || e.Depth() != 8 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestMuLawRoundTrip(t *testing.T) {
+	a := media.NewAudioValue(media.TypeVoiceAudio, 1)
+	samples := make([]int16, 8000)
+	for i := range samples {
+		samples[i] = int16(12000 * math.Sin(float64(i)*2*math.Pi*440/8000))
+	}
+	if err := a.AppendSamples(samples); err != nil {
+		t.Fatal(err)
+	}
+	e, err := MuLawCodec.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 8000 {
+		t.Errorf("µ-law size = %d, want 8000", e.Size())
+	}
+	if e.CompressionRatio() != 2 {
+		t.Errorf("µ-law ratio = %v, want 2", e.CompressionRatio())
+	}
+	d, err := MuLawCodec.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 8000 || d.Type() != media.TypeVoiceAudio {
+		t.Fatalf("decode shape wrong: %v", d)
+	}
+	// µ-law error is proportional to magnitude: check relative error.
+	dec, _ := d.Samples(0, 8000)
+	for i, s := range samples {
+		diff := math.Abs(float64(dec[i]) - float64(s))
+		bound := math.Abs(float64(s))/16 + 64
+		if diff > bound {
+			t.Fatalf("sample %d: %d -> %d (err %.0f > %.0f)", i, s, dec[i], diff, bound)
+		}
+	}
+}
+
+func TestMuLawExtremes(t *testing.T) {
+	for _, s := range []int16{0, 1, -1, 32767, -32768, 12345, -12345} {
+		d := muLawDecode(muLawEncode(s))
+		diff := int32(d) - int32(s)
+		if diff < 0 {
+			diff = -diff
+		}
+		bound := int32(s)/8 + 64
+		if bound < 0 {
+			bound = -bound
+		}
+		if diff > bound+900 { // extremes clip at 32635
+			t.Errorf("µ-law %d -> %d", s, d)
+		}
+	}
+}
+
+func TestADPCMRoundTripSNR(t *testing.T) {
+	a := media.NewAudioValue(media.TypeCDAudio, 2)
+	n := 44100
+	samples := make([]int16, n*2)
+	for i := 0; i < n; i++ {
+		samples[i*2] = int16(9000 * math.Sin(float64(i)*2*math.Pi*440/44100))
+		samples[i*2+1] = int16(9000 * math.Sin(float64(i)*2*math.Pi*523/44100))
+	}
+	if err := a.AppendSamples(samples); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ADPCMCodec.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := e.CompressionRatio(); ratio < 3.5 {
+		t.Errorf("ADPCM ratio = %.2f, want ~4", ratio)
+	}
+	d, err := ADPCMCodec.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != n || d.Channels() != 2 {
+		t.Fatalf("decode shape wrong: %v", d)
+	}
+	dec, _ := d.Samples(0, n)
+	var sig, noise float64
+	for i := range samples {
+		sig += float64(samples[i]) * float64(samples[i])
+		diff := float64(dec[i]) - float64(samples[i])
+		noise += diff * diff
+	}
+	snr := 10 * math.Log10(sig/noise)
+	if snr < 20 {
+		t.Errorf("ADPCM SNR = %.1f dB, want >= 20", snr)
+	}
+}
+
+func TestADPCMOddSampleCount(t *testing.T) {
+	a := media.NewAudioValue(media.TypeVoiceAudio, 1)
+	if err := a.AppendSamples([]int16{100, -200, 300}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ADPCMCodec.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ADPCMCodec.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSamples() != 3 {
+		t.Errorf("odd count decode = %d samples", d.NumSamples())
+	}
+}
+
+func TestADPCMTruncatedPayload(t *testing.T) {
+	e := &EncodedAudio{typ: TypeADPCMAudio, codec: "adpcm-sim", channels: 2, samples: 100,
+		data: []byte{0, 0, 0, 0}, tr: avtime.NewTransform(avtime.RateCDAudio)}
+	if _, err := ADPCMCodec.Decode(e); err == nil {
+		t.Error("truncated ADPCM accepted")
+	}
+	e.data = nil
+	if _, err := ADPCMCodec.Decode(e); err == nil {
+		t.Error("headerless ADPCM accepted")
+	}
+}
+
+func TestEncodedAudioValueInterface(t *testing.T) {
+	a := media.NewAudioValue(media.TypeVoiceAudio, 1)
+	if err := a.AppendSamples(make([]int16, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := MuLawCodec.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var val media.Value = e
+	if val.Duration() != 500*avtime.Millisecond {
+		t.Errorf("duration = %v, want 0.5s", val.Duration())
+	}
+	if val.NumElements() != 4000 {
+		t.Errorf("NumElements = %d", val.NumElements())
+	}
+	el, err := val.Element(0)
+	if err != nil || el.Size() != 4000 {
+		t.Errorf("Element = %v, %v", el, err)
+	}
+	if _, err := val.ElementAt(1); !errors.Is(err, media.ErrOutOfRange) {
+		t.Error("ElementAt(1) succeeded")
+	}
+	val.Translate(avtime.Second)
+	val.Scale(2)
+	if val.Interval() != avtime.IntervalOf(avtime.Second, 1250*avtime.Millisecond) {
+		t.Errorf("interval = %v", val.Interval())
+	}
+	if e.Channels() != 1 || len(e.Data()) != 4000 || e.Codec() != "mulaw" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	if c, ok := LookupVideoCodec("jpeg-sim"); !ok || c != JPEG {
+		t.Error("jpeg-sim not registered")
+	}
+	if c, ok := LookupAudioCodec("mulaw"); !ok || c != MuLawCodec {
+		t.Error("mulaw not registered")
+	}
+	if _, ok := LookupVideoCodec("h264"); ok {
+		t.Error("h264 should not exist")
+	}
+	names := VideoCodecs()
+	if len(names) < 4 {
+		t.Errorf("VideoCodecs = %v", names)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate video codec registration did not panic")
+			}
+		}()
+		RegisterVideoCodec(&Intra{CodecName: "jpeg-sim", Typ: TypeJPEGVideo})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate audio codec registration did not panic")
+			}
+		}()
+		RegisterAudioCodec(MuLaw{})
+	}()
+}
+
+func TestScalableStringAndMetadata(t *testing.T) {
+	v := smoothVideo(2, 16, 12)
+	sc := ScalableCodec.(*Scalable)
+	e, err := sc.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Layers() != NumLayers {
+		t.Errorf("Layers = %d", e.Layers())
+	}
+	if s := e.String(); s == "" {
+		t.Error("empty String")
+	}
+	if s := e.CompressionRatio(); s <= 0 {
+		t.Error("ratio not positive")
+	}
+}
+
+func TestScalableLosslessProperty(t *testing.T) {
+	// Property: for any frame contents, the full-layer scalable decode is
+	// bit-exact.
+	sc := ScalableCodec.(*Scalable)
+	f := func(seed int64, wRaw, hRaw uint8) bool {
+		w, h := int(wRaw%24)+2, int(hRaw%24)+2
+		v := media.NewVideoValue(media.TypeRawVideo30, w, h, 8)
+		rng := rand.New(rand.NewSource(seed))
+		fr := media.NewFrame(w, h, 8)
+		rng.Read(fr.Pix)
+		if err := v.AppendFrame(fr); err != nil {
+			return false
+		}
+		e, err := sc.Encode(v)
+		if err != nil {
+			return false
+		}
+		d, err := sc.Decode(e)
+		if err != nil {
+			return false
+		}
+		return maxPixelError(v, d) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterLosslessProperty(t *testing.T) {
+	// Property: at quant 0 the inter codec round-trips any content.
+	f := func(seed int64, gopRaw uint8) bool {
+		c := &Inter{Quant: 0, GOPN: int(gopRaw%7) + 1}
+		v := media.NewVideoValue(media.TypeRawVideo30, 12, 10, 8)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 9; i++ {
+			fr := media.NewFrame(12, 10, 8)
+			rng.Read(fr.Pix)
+			if err := v.AppendFrame(fr); err != nil {
+				return false
+			}
+		}
+		e, err := c.Encode(v)
+		if err != nil {
+			return false
+		}
+		d, err := c.Decode(e)
+		if err != nil {
+			return false
+		}
+		return maxPixelError(v, d) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package codec
+
+import (
+	"fmt"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+// Inter is an inter-frame video codec in the MPEG mold: every GOP-th frame
+// is an independently decodable key (I) frame coded like the intra codec;
+// the frames between are predicted (P) frames holding only the quantized
+// difference against the previous reconstructed frame.  Static or slowly
+// changing video therefore compresses far better than with the intra
+// codec, at the cost of random access: decoding frame i requires decoding
+// forward from the nearest key frame at or before i.
+//
+// Prediction operates in the quantized domain, so the encoder's reference
+// frame is bit-identical to the decoder's and there is no drift.
+type Inter struct {
+	Quant int // bits of precision dropped, 0..7
+	GOPN  int // key-frame period, >= 1
+}
+
+// MPEG is the registered inter-frame codec ("MPEG-Videovalue").
+var MPEG = RegisterVideoCodec(&Inter{Quant: 2, GOPN: 15})
+
+// Name implements VideoCodec.
+func (c *Inter) Name() string { return "mpeg-sim" }
+
+// EncodedType implements VideoCodec.
+func (c *Inter) EncodedType() *media.Type { return TypeMPEGVideo }
+
+// Encode implements VideoCodec.
+func (c *Inter) Encode(v *media.VideoValue) (*EncodedVideo, error) {
+	if err := checkQuant(c.Quant); err != nil {
+		return nil, err
+	}
+	gop := c.GOPN
+	if gop < 1 {
+		return nil, fmt.Errorf("codec: GOP %d must be >= 1", gop)
+	}
+	e := newEncodedVideo(TypeMPEGVideo, c.Name(), v.Width(), v.Height(), v.Depth(), c.Quant, gop, 0)
+	e.tr = avtime.NewTransform(v.Type().Rate)
+
+	var ref []byte // previous frame in the quantized domain
+	for i := 0; i < v.NumFrames(); i++ {
+		f, err := v.Frame(i)
+		if err != nil {
+			return nil, err
+		}
+		t := quantize(f.Pix, c.Quant)
+		if i%gop == 0 {
+			e.frames = append(e.frames, &EncodedFrame{Data: deltaRLE(t), Key: true})
+		} else {
+			resid := make([]byte, len(t))
+			for k := range t {
+				resid[k] = t[k] - ref[k]
+			}
+			e.frames = append(e.frames, &EncodedFrame{Data: rleEncode(make([]byte, 0, 64), resid), Key: false})
+		}
+		ref = t
+	}
+	return e, nil
+}
+
+// Decode implements VideoCodec.
+func (c *Inter) Decode(e *EncodedVideo) (*media.VideoValue, error) {
+	v := media.NewVideoValue(media.TypeRawVideo30, e.width, e.height, e.depth)
+	var ref []byte
+	for i := range e.frames {
+		t, err := decodeInterQuantized(e, i, ref)
+		if err != nil {
+			return nil, err
+		}
+		f := media.NewFrame(e.width, e.height, e.depth)
+		dequantizeInto(f.Pix, t, e.quant)
+		if err := v.AppendFrame(f); err != nil {
+			return nil, err
+		}
+		ref = t
+	}
+	return v, nil
+}
+
+// DecodeFrame implements VideoCodec, decoding forward from the nearest
+// key frame at or before i.
+func (c *Inter) DecodeFrame(e *EncodedVideo, i int) (*media.Frame, error) {
+	key, err := e.KeyFrameBefore(i)
+	if err != nil {
+		return nil, err
+	}
+	var ref []byte
+	for k := key; ; k++ {
+		t, err := decodeInterQuantized(e, k, ref)
+		if err != nil {
+			return nil, err
+		}
+		if k == i {
+			f := media.NewFrame(e.width, e.height, e.depth)
+			dequantizeInto(f.Pix, t, e.quant)
+			return f, nil
+		}
+		ref = t
+	}
+}
+
+// decodeInterQuantized reconstructs frame i in the quantized domain given
+// the previous reconstructed frame (nil for key frames).
+func decodeInterQuantized(e *EncodedVideo, i int, ref []byte) ([]byte, error) {
+	ef, err := e.FrameData(i)
+	if err != nil {
+		return nil, err
+	}
+	n := e.width * e.height * e.depth / 8
+	if ef.Key {
+		t, err := undeltaRLE(ef.Data, n)
+		if err != nil {
+			return nil, fmt.Errorf("codec: key frame %d: %w", i, err)
+		}
+		return t, nil
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("codec: P frame %d decoded without reference", i)
+	}
+	resid, err := rleDecode(make([]byte, 0, n), ef.Data)
+	if err != nil {
+		return nil, fmt.Errorf("codec: P frame %d: %w", i, err)
+	}
+	if len(resid) != n {
+		return nil, fmt.Errorf("codec: P frame %d: decoded %d bytes, want %d", i, len(resid), n)
+	}
+	t := make([]byte, n)
+	for k := range t {
+		t[k] = ref[k] + resid[k]
+	}
+	return t, nil
+}
+
+// quantize drops q low bits from every byte.
+func quantize(pix []byte, q int) []byte {
+	t := make([]byte, len(pix))
+	for i, p := range pix {
+		t[i] = p >> q
+	}
+	return t
+}
+
+// dequantizeInto restores pixel bytes from the quantized domain with
+// midpoint reconstruction.
+func dequantizeInto(pix, t []byte, q int) {
+	mid := byte(0)
+	if q > 0 {
+		mid = 1 << (q - 1)
+	}
+	for i, tv := range t {
+		pix[i] = tv<<q + mid
+	}
+}
+
+// deltaRLE codes an already-quantized frame with the intra predictor.
+func deltaRLE(t []byte) []byte {
+	d := make([]byte, len(t))
+	var prev byte
+	for i, tv := range t {
+		d[i] = tv - prev
+		prev = tv
+	}
+	return rleEncode(make([]byte, 0, len(t)/4+16), d)
+}
+
+// undeltaRLE reverses deltaRLE, returning the quantized-domain frame.
+func undeltaRLE(data []byte, n int) ([]byte, error) {
+	d, err := rleDecode(make([]byte, 0, n), data)
+	if err != nil {
+		return nil, err
+	}
+	if len(d) != n {
+		return nil, fmt.Errorf("codec: decoded %d bytes, want %d", len(d), n)
+	}
+	t := make([]byte, n)
+	var prev byte
+	for i, dv := range d {
+		prev += dv
+		t[i] = prev
+	}
+	return t, nil
+}

@@ -1,0 +1,86 @@
+package codec
+
+import "fmt"
+
+// Run-length entropy coding in the PackBits style: a control byte c is
+// followed either by c+1 literal bytes (c in 0..127) or by one byte to be
+// repeated 257-c times (c in 129..255).  Control value 128 is reserved.
+// PackBits is the entropy stage of every codec in this package: the
+// predictive/quantizing transforms in front of it turn smooth video and
+// audio into long zero runs, which PackBits collapses.
+
+const (
+	maxLiteralRun = 128
+	maxRepeatRun  = 128
+	minRepeatRun  = 3 // shorter repeats are cheaper as literals
+)
+
+// rleEncode appends the PackBits encoding of src to dst and returns the
+// extended slice.
+func rleEncode(dst, src []byte) []byte {
+	i := 0
+	for i < len(src) {
+		// Measure the repeat run starting at i.
+		run := 1
+		for i+run < len(src) && run < maxRepeatRun && src[i+run] == src[i] {
+			run++
+		}
+		if run >= minRepeatRun {
+			dst = append(dst, byte(257-run), src[i])
+			i += run
+			continue
+		}
+		// Gather literals up to the next worthwhile repeat run or the
+		// 128-byte literal cap.
+		j := i
+		for j < len(src) && j-i < maxLiteralRun {
+			r := 1
+			for j+r < len(src) && src[j+r] == src[j] {
+				r++
+			}
+			if r >= minRepeatRun {
+				break
+			}
+			j += r
+		}
+		if j-i > maxLiteralRun {
+			j = i + maxLiteralRun
+		}
+		n := j - i
+		dst = append(dst, byte(n-1))
+		dst = append(dst, src[i:j]...)
+		i = j
+	}
+	return dst
+}
+
+// rleDecode appends the decoding of the PackBits stream src to dst.
+func rleDecode(dst, src []byte) ([]byte, error) {
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		i++
+		switch {
+		case c < 128:
+			n := int(c) + 1
+			if i+n > len(src) {
+				return nil, fmt.Errorf("codec: truncated RLE literal run (need %d bytes, have %d)", n, len(src)-i)
+			}
+			dst = append(dst, src[i:i+n]...)
+			i += n
+		case c > 128:
+			if i >= len(src) {
+				return nil, fmt.Errorf("codec: truncated RLE repeat run")
+			}
+			n := 257 - int(c)
+			v := src[i]
+			i++
+			for k := 0; k < n; k++ {
+				dst = append(dst, v)
+			}
+		default:
+			return nil, fmt.Errorf("codec: reserved RLE control byte 128")
+		}
+	}
+	return dst, nil
+}

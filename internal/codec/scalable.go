@@ -1,0 +1,262 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+// Scalable is a three-layer spatially scalable video codec, the paper's
+// "scalable video" (§4.1, citing Lippman): a value encoded once can be
+// viewed at lower quality "by ignoring some of the encoded data".
+//
+// Layer 0 holds a quantized quarter-resolution base; layer 1 the exact
+// half-resolution residual against the upsampled base; layer 2 the exact
+// full-resolution residual.  Decoding all three layers is lossless;
+// decoding fewer yields progressively softer frames.  DropLayers produces
+// a genuinely smaller encoded value without re-encoding — the operation an
+// AV database uses to serve a low-quality request from high-quality
+// storage.
+type Scalable struct {
+	BaseQuant int // quantization of the quarter-resolution base layer
+}
+
+// ScalableCodec is the registered scalable codec.
+var ScalableCodec = RegisterVideoCodec(&Scalable{BaseQuant: 2})
+
+// NumLayers is the layer count produced by Encode.
+const NumLayers = 3
+
+// Name implements VideoCodec.
+func (c *Scalable) Name() string { return "scalable-sim" }
+
+// EncodedType implements VideoCodec.
+func (c *Scalable) EncodedType() *media.Type { return TypeScalableVideo }
+
+// Encode implements VideoCodec.
+func (c *Scalable) Encode(v *media.VideoValue) (*EncodedVideo, error) {
+	if err := checkQuant(c.BaseQuant); err != nil {
+		return nil, err
+	}
+	w, h, bpp := v.Width(), v.Height(), v.Depth()/8
+	hw, hh := (w+1)/2, (h+1)/2
+	e := newEncodedVideo(TypeScalableVideo, c.Name(), w, h, v.Depth(), c.BaseQuant, 1, NumLayers)
+	e.tr = avtime.NewTransform(v.Type().Rate)
+
+	for i := 0; i < v.NumFrames(); i++ {
+		f, err := v.Frame(i)
+		if err != nil {
+			return nil, err
+		}
+		half := downsample2(f.Pix, w, h, bpp)
+		quarter := downsample2(half, hw, hh, bpp)
+
+		// Layer 0: quantized base.
+		l0 := deltaRLE(quantize(quarter, c.BaseQuant))
+		reconQ := make([]byte, len(quarter))
+		dequantizeInto(reconQ, quantize(quarter, c.BaseQuant), c.BaseQuant)
+
+		// Layer 1: exact half-res residual against the upsampled base.
+		predHalf := make([]byte, len(half))
+		upsample2Linear(predHalf, reconQ, hw, hh, bpp)
+		residHalf := make([]byte, len(half))
+		for k := range half {
+			residHalf[k] = half[k] - predHalf[k]
+		}
+		l1 := rleEncode(make([]byte, 0, 64), residHalf)
+
+		// Layer 2: exact full-res residual against the upsampled half.
+		predFull := make([]byte, len(f.Pix))
+		upsample2Linear(predFull, half, w, h, bpp)
+		residFull := make([]byte, len(f.Pix))
+		for k := range f.Pix {
+			residFull[k] = f.Pix[k] - predFull[k]
+		}
+		l2 := rleEncode(make([]byte, 0, 64), residFull)
+
+		e.frames = append(e.frames, &EncodedFrame{Data: packLayers(l0, l1, l2), Key: true})
+	}
+	return e, nil
+}
+
+// Decode implements VideoCodec, decoding with every available layer.
+func (c *Scalable) Decode(e *EncodedVideo) (*media.VideoValue, error) {
+	return c.DecodeLayers(e, e.layers)
+}
+
+// DecodeLayers decodes using only the first k layers of each frame.
+func (c *Scalable) DecodeLayers(e *EncodedVideo, k int) (*media.VideoValue, error) {
+	v := media.NewVideoValue(media.TypeRawVideo30, e.width, e.height, e.depth)
+	for i := range e.frames {
+		f, err := c.DecodeFrameLayers(e, i, k)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.AppendFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// DecodeFrame implements VideoCodec.
+func (c *Scalable) DecodeFrame(e *EncodedVideo, i int) (*media.Frame, error) {
+	return c.DecodeFrameLayers(e, i, e.layers)
+}
+
+// DecodeFrameLayers decodes frame i using the first k of its layers.
+func (c *Scalable) DecodeFrameLayers(e *EncodedVideo, i, k int) (*media.Frame, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("codec: scalable decode needs at least 1 layer, got %d", k)
+	}
+	if k > e.layers {
+		return nil, fmt.Errorf("codec: value has %d layers, %d requested", e.layers, k)
+	}
+	ef, err := e.FrameData(i)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := unpackLayers(ef.Data)
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame %d: %w", i, err)
+	}
+	if len(layers) < k {
+		return nil, fmt.Errorf("codec: frame %d holds %d layers, %d requested", i, len(layers), k)
+	}
+
+	w, h, bpp := e.width, e.height, e.depth/8
+	hw, hh := (w+1)/2, (h+1)/2
+	qw, qh := (hw+1)/2, (hh+1)/2
+
+	// Layer 0: quantized quarter-resolution base.
+	tq, err := undeltaRLE(layers[0], qw*qh*bpp)
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame %d layer 0: %w", i, err)
+	}
+	quarter := make([]byte, len(tq))
+	dequantizeInto(quarter, tq, e.quant)
+
+	f := media.NewFrame(w, h, e.depth)
+	if k == 1 {
+		halfUp := make([]byte, hw*hh*bpp)
+		upsample2Linear(halfUp, quarter, hw, hh, bpp)
+		upsample2Linear(f.Pix, halfUp, w, h, bpp)
+		return f, nil
+	}
+
+	// Layer 1: exact half resolution.
+	half := make([]byte, hw*hh*bpp)
+	upsample2Linear(half, quarter, hw, hh, bpp)
+	resid1, err := rleDecode(make([]byte, 0, len(half)), layers[1])
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame %d layer 1: %w", i, err)
+	}
+	if len(resid1) != len(half) {
+		return nil, fmt.Errorf("codec: frame %d layer 1: %d bytes, want %d", i, len(resid1), len(half))
+	}
+	for p := range half {
+		half[p] += resid1[p]
+	}
+	if k == 2 {
+		upsample2Linear(f.Pix, half, w, h, bpp)
+		return f, nil
+	}
+
+	// Layer 2: exact full resolution.
+	upsample2Linear(f.Pix, half, w, h, bpp)
+	resid2, err := rleDecode(make([]byte, 0, len(f.Pix)), layers[2])
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame %d layer 2: %w", i, err)
+	}
+	if len(resid2) != len(f.Pix) {
+		return nil, fmt.Errorf("codec: frame %d layer 2: %d bytes, want %d", i, len(resid2), len(f.Pix))
+	}
+	for p := range f.Pix {
+		f.Pix[p] += resid2[p]
+	}
+	return f, nil
+}
+
+// DropLayers returns a new encoded value containing only the first k
+// layers of every frame — the "ignore some of the encoded data" operation.
+// The result is smaller and still decodable at layers 1..k.
+func DropLayers(e *EncodedVideo, k int) (*EncodedVideo, error) {
+	if e.layers == 0 {
+		return nil, fmt.Errorf("codec: DropLayers on non-scalable value %q", e.codec)
+	}
+	if k < 1 || k > e.layers {
+		return nil, fmt.Errorf("codec: keep %d of %d layers", k, e.layers)
+	}
+	out := newEncodedVideo(e.typ, e.codec, e.width, e.height, e.depth, e.quant, e.gop, k)
+	out.tr = e.tr
+	for i, ef := range e.frames {
+		layers, err := unpackLayers(ef.Data)
+		if err != nil {
+			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
+		}
+		out.frames = append(out.frames, &EncodedFrame{Data: packLayers(layers[:k]...), Key: true})
+	}
+	return out, nil
+}
+
+// DropFrames returns a new encoded value keeping every keepEvery-th
+// frame, with the element rate scaled down so the presentation duration
+// is preserved — temporal quality scaling, the frame-rate counterpart of
+// DropLayers.  It applies only to representations whose frames are all
+// independently decodable (intra-coded or scalable); dropping frames from
+// an inter-coded stream would orphan its predicted frames.
+func DropFrames(e *EncodedVideo, keepEvery int) (*EncodedVideo, error) {
+	if keepEvery < 1 {
+		return nil, fmt.Errorf("codec: keepEvery %d must be >= 1", keepEvery)
+	}
+	for i, f := range e.frames {
+		if !f.Key {
+			return nil, fmt.Errorf("codec: frame %d is predicted; cannot drop frames from %q", i, e.codec)
+		}
+	}
+	out := newEncodedVideo(e.typ, e.codec, e.width, e.height, e.depth, e.quant, e.gop, e.layers)
+	oldRate := e.tr.Rate
+	out.tr = avtime.NewTransform(avtime.MakeRate(oldRate.N, oldRate.D*int64(keepEvery)))
+	out.tr.Translate = e.tr.Translate
+	for i := 0; i < len(e.frames); i += keepEvery {
+		out.frames = append(out.frames, e.frames[i])
+	}
+	return out, nil
+}
+
+// packLayers concatenates layer payloads, each preceded by a big-endian
+// 32-bit length.
+func packLayers(layers ...[]byte) []byte {
+	var n int
+	for _, l := range layers {
+		n += 4 + len(l)
+	}
+	out := make([]byte, 0, n)
+	for _, l := range layers {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(l)))
+		out = append(out, hdr[:]...)
+		out = append(out, l...)
+	}
+	return out
+}
+
+// unpackLayers splits a packLayers payload.
+func unpackLayers(data []byte) ([][]byte, error) {
+	var layers [][]byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("truncated layer header")
+		}
+		n := int(binary.BigEndian.Uint32(data[:4]))
+		data = data[4:]
+		if n > len(data) {
+			return nil, fmt.Errorf("layer length %d exceeds remaining %d bytes", n, len(data))
+		}
+		layers = append(layers, data[:n])
+		data = data[n:]
+	}
+	return layers, nil
+}

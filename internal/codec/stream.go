@@ -1,0 +1,132 @@
+package codec
+
+import (
+	"fmt"
+
+	"avdb/internal/media"
+)
+
+// VideoStreamEncoder compresses frames one at a time, the form a video
+// encoder activity needs: state (the inter-frame reference) lives in the
+// encoder, and each call yields one EncodedFrame.
+type VideoStreamEncoder struct {
+	quant, gop           int
+	width, height, depth int // learned from the first frame
+	count                int
+	ref                  []byte // quantized previous frame (inter mode)
+}
+
+// NewIntraStreamEncoder returns a streaming intra-frame (JPEG-style)
+// encoder.
+func NewIntraStreamEncoder(quant int) (*VideoStreamEncoder, error) {
+	if err := checkQuant(quant); err != nil {
+		return nil, err
+	}
+	return &VideoStreamEncoder{quant: quant, gop: 1}, nil
+}
+
+// NewInterStreamEncoder returns a streaming inter-frame (MPEG-style)
+// encoder with the given key-frame period.
+func NewInterStreamEncoder(quant, gop int) (*VideoStreamEncoder, error) {
+	if err := checkQuant(quant); err != nil {
+		return nil, err
+	}
+	if gop < 1 {
+		return nil, fmt.Errorf("codec: GOP %d must be >= 1", gop)
+	}
+	return &VideoStreamEncoder{quant: quant, gop: gop}, nil
+}
+
+// Quant reports the encoder's quantization parameter.
+func (e *VideoStreamEncoder) Quant() int { return e.quant }
+
+// GOP reports the key-frame period.
+func (e *VideoStreamEncoder) GOP() int { return e.gop }
+
+// EncodeFrame compresses one frame.  All frames of a stream must share
+// one geometry.
+func (e *VideoStreamEncoder) EncodeFrame(f *media.Frame) (*EncodedFrame, error) {
+	if e.count == 0 {
+		e.width, e.height, e.depth = f.Width, f.Height, f.Depth
+	} else if f.Width != e.width || f.Height != e.height || f.Depth != e.depth {
+		return nil, fmt.Errorf("codec: frame geometry changed mid-stream: %dx%dx%d -> %dx%dx%d",
+			e.width, e.height, e.depth, f.Width, f.Height, f.Depth)
+	}
+	t := quantize(f.Pix, e.quant)
+	var out *EncodedFrame
+	if e.count%e.gop == 0 {
+		out = &EncodedFrame{Data: deltaRLE(t), Key: true}
+	} else {
+		resid := make([]byte, len(t))
+		for k := range t {
+			resid[k] = t[k] - e.ref[k]
+		}
+		out = &EncodedFrame{Data: rleEncode(make([]byte, 0, 64), resid)}
+	}
+	e.ref = t
+	e.count++
+	return out, nil
+}
+
+// Reset returns the encoder to its initial state (the next frame is a
+// key frame and may have new geometry).
+func (e *VideoStreamEncoder) Reset() {
+	e.count = 0
+	e.ref = nil
+}
+
+// VideoStreamDecoder reconstructs frames from a stream of EncodedFrames
+// produced by a VideoStreamEncoder with the same parameters.
+type VideoStreamDecoder struct {
+	quant                int
+	width, height, depth int
+	ref                  []byte
+}
+
+// NewVideoStreamDecoder returns a decoder for streams of the given
+// geometry and quantization.
+func NewVideoStreamDecoder(width, height, depth, quant int) (*VideoStreamDecoder, error) {
+	if err := checkQuant(quant); err != nil {
+		return nil, err
+	}
+	if width <= 0 || height <= 0 || depth <= 0 || depth%8 != 0 {
+		return nil, fmt.Errorf("codec: invalid decoder geometry %dx%dx%d", width, height, depth)
+	}
+	return &VideoStreamDecoder{quant: quant, width: width, height: height, depth: depth}, nil
+}
+
+// DecodeFrame reconstructs one frame.  A non-key frame before any key
+// frame is an error.
+func (d *VideoStreamDecoder) DecodeFrame(ef *EncodedFrame) (*media.Frame, error) {
+	n := d.width * d.height * d.depth / 8
+	var t []byte
+	if ef.Key {
+		var err error
+		t, err = undeltaRLE(ef.Data, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if d.ref == nil {
+			return nil, fmt.Errorf("codec: predicted frame received before any key frame")
+		}
+		resid, err := rleDecode(make([]byte, 0, n), ef.Data)
+		if err != nil {
+			return nil, err
+		}
+		if len(resid) != n {
+			return nil, fmt.Errorf("codec: predicted frame decoded to %d bytes, want %d", len(resid), n)
+		}
+		t = make([]byte, n)
+		for k := range t {
+			t[k] = d.ref[k] + resid[k]
+		}
+	}
+	d.ref = t
+	f := media.NewFrame(d.width, d.height, d.depth)
+	dequantizeInto(f.Pix, t, d.quant)
+	return f, nil
+}
+
+// Reset drops the reference frame.
+func (d *VideoStreamDecoder) Reset() { d.ref = nil }

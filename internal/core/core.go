@@ -1,0 +1,569 @@
+// Package core is the AV database system itself — the paper's primary
+// contribution assembled over the substrate packages.  A Database is "a
+// software/hardware entity managing a collection of AV values and AV
+// activities" (§3.1): it holds the class catalog and object store,
+// answers queries with references, places media values on platform
+// devices, grants resources through admission control, arbitrates
+// exclusive hardware, keeps scalar state recoverable through a WAL, and
+// gives clients the asynchronous, stream-based session interface of §3.3.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/query"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/storage"
+	"avdb/internal/txn"
+)
+
+// Config parameterizes a database instance.
+type Config struct {
+	Name string
+	// Resources is the admission-control budget for database-side
+	// activities and streams.
+	Resources sched.Resources
+}
+
+// Database is one AV database instance.
+type Database struct {
+	name string
+
+	schema    *schema.Schema
+	objects   *schema.Store
+	engine    *query.Engine
+	mediaSt   *storage.Store
+	devices   *device.Manager
+	network   *netsim.Network
+	txns      *txn.Manager
+	versions  *txn.VersionStore
+	admission *sched.Admission
+	kv        *txn.KV
+	clock     *sched.VirtualClock
+	links     *linkStore
+
+	mu          sync.Mutex
+	nextSession int
+	segments    map[string]storage.SegID // "oid/attr[/track]" -> segment
+}
+
+// Open creates a database.  Devices and network links are registered
+// afterwards through Devices() and Network().
+func Open(cfg Config) *Database {
+	if cfg.Name == "" {
+		cfg.Name = "avdb"
+	}
+	devices := device.NewManager()
+	db := &Database{
+		name:      cfg.Name,
+		schema:    schema.NewSchema(),
+		objects:   schema.NewStore(),
+		devices:   devices,
+		mediaSt:   storage.NewStore(devices),
+		network:   netsim.NewNetwork(),
+		txns:      txn.NewManager(),
+		versions:  txn.NewVersionStore(),
+		admission: sched.NewAdmission(cfg.Resources),
+		kv:        txn.NewKV(),
+		clock:     sched.NewVirtualClock(0),
+		links:     newLinkStore(),
+		segments:  make(map[string]storage.SegID),
+	}
+	db.engine = query.NewEngine(db.schema, db.objects)
+	return db
+}
+
+// Name returns the database's name.
+func (db *Database) Name() string { return db.name }
+
+// Devices returns the platform device manager.
+func (db *Database) Devices() *device.Manager { return db.devices }
+
+// Network returns the client network.
+func (db *Database) Network() *netsim.Network { return db.network }
+
+// Storage returns the media store.
+func (db *Database) Storage() *storage.Store { return db.mediaSt }
+
+// Admission returns the database's resource authority.
+func (db *Database) Admission() *sched.Admission { return db.admission }
+
+// Versions returns the media version store.
+func (db *Database) Versions() *txn.VersionStore { return db.versions }
+
+// Clock returns the database's presentation clock.
+func (db *Database) Clock() *sched.VirtualClock { return db.clock }
+
+// Schema returns the class catalog.
+func (db *Database) Schema() *schema.Schema { return db.schema }
+
+// DefineClass registers a class.
+func (db *Database) DefineClass(name, super string, attrs []schema.AttrDef) (*schema.Class, error) {
+	return db.schema.Define(name, super, attrs)
+}
+
+// CreateIndex builds an attribute index used by the query planner.
+func (db *Database) CreateIndex(className, attr string, kind query.IndexKind) error {
+	_, err := db.engine.CreateIndex(className, attr, kind)
+	return err
+}
+
+// NewObject creates an instance of the class under a short auto-commit
+// transaction.
+func (db *Database) NewObject(className string) (*schema.Object, error) {
+	c, ok := db.schema.Class(className)
+	if !ok {
+		return nil, fmt.Errorf("core: no class %q", className)
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := tx.LockClass(className, txn.ModeIX); err != nil {
+		return nil, err
+	}
+	o := db.objects.NewObject(c)
+	if err := db.kv.Put(tx, metaKey(o.OID()), []byte(className)); err != nil {
+		return nil, err
+	}
+	db.kv.Commit(tx)
+	return o, tx.Commit()
+}
+
+// SetAttr assigns an attribute under a short auto-commit transaction,
+// maintaining indexes and, for scalar attributes, durability.
+func (db *Database) SetAttr(oid schema.OID, attr string, d schema.Datum) error {
+	o, ok := db.objects.Get(oid)
+	if !ok {
+		return fmt.Errorf("core: no object %v", oid)
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := tx.LockObject(o.Class().Name(), oid, txn.ModeX); err != nil {
+		return err
+	}
+	var old *schema.Datum
+	if prev, had := o.Get(attr); had {
+		old = &prev
+	}
+	if err := o.Set(attr, d); err != nil {
+		return err
+	}
+	db.engine.OnSet(o, attr, old, d)
+	if isScalar(d.Kind()) {
+		enc, err := encodeDatum(d)
+		if err != nil {
+			return err
+		}
+		if err := db.kv.Put(tx, attrKey(oid, attr), enc); err != nil {
+			return err
+		}
+	}
+	db.kv.Commit(tx)
+	return tx.Commit()
+}
+
+// GetAttr reads an attribute under a short shared-lock transaction.
+func (db *Database) GetAttr(oid schema.OID, attr string) (schema.Datum, error) {
+	o, ok := db.objects.Get(oid)
+	if !ok {
+		return schema.Datum{}, fmt.Errorf("core: no object %v", oid)
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := tx.LockObject(o.Class().Name(), oid, txn.ModeS); err != nil {
+		return schema.Datum{}, err
+	}
+	d, had := o.Get(attr)
+	if !had {
+		return schema.Datum{}, fmt.Errorf("core: %v has no value for %q", oid, attr)
+	}
+	if err := tx.Commit(); err != nil {
+		return schema.Datum{}, err
+	}
+	return d, nil
+}
+
+// DeleteObject removes an object, its index entries and its durable
+// scalar state.
+func (db *Database) DeleteObject(oid schema.OID) error {
+	o, ok := db.objects.Get(oid)
+	if !ok {
+		return fmt.Errorf("core: no object %v", oid)
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := tx.LockObject(o.Class().Name(), oid, txn.ModeX); err != nil {
+		return err
+	}
+	db.engine.OnDelete(o)
+	if err := db.objects.Delete(oid); err != nil {
+		return err
+	}
+	if err := db.kv.Put(tx, metaKey(oid), nil); err != nil {
+		return err
+	}
+	for _, attr := range o.Fields() {
+		if d, had := o.Get(attr); had && isScalar(d.Kind()) {
+			if err := db.kv.Put(tx, attrKey(oid, attr), nil); err != nil {
+				return err
+			}
+		}
+	}
+	db.kv.Commit(tx)
+	return tx.Commit()
+}
+
+// Select parses and runs a query, returning references: "queries may
+// return references to AV values rather than the values themselves."
+func (db *Database) Select(src string) ([]schema.OID, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := tx.LockClass(q.ClassName, txn.ModeS); err != nil {
+		return nil, err
+	}
+	oids, err := db.engine.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	return oids, tx.Commit()
+}
+
+// SelectOne runs a query expected to match exactly one object.
+func (db *Database) SelectOne(src string) (schema.OID, error) {
+	oids, err := db.Select(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(oids) != 1 {
+		return 0, fmt.Errorf("core: query matched %d objects, want 1", len(oids))
+	}
+	return oids[0], nil
+}
+
+// Object returns the live object for a reference.
+func (db *Database) Object(oid schema.OID) (*schema.Object, bool) {
+	return db.objects.Get(oid)
+}
+
+// PlaceMedia stores a media attribute's value on a device and remembers
+// the placement.  deviceID may be empty to let the store choose a disk
+// that can sustain rate.
+func (db *Database) PlaceMedia(oid schema.OID, attr string, deviceID string, rate media.DataRate) (*storage.Segment, error) {
+	d, err := db.GetAttr(oid, attr)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != schema.KindMedia {
+		return nil, fmt.Errorf("core: %v.%s is %v, not media", oid, attr, d.Kind())
+	}
+	var seg *storage.Segment
+	if deviceID == "" {
+		seg, err = db.mediaSt.PlaceAuto(d.MediaVal(), rate)
+	} else {
+		seg, err = db.mediaSt.Place(d.MediaVal(), deviceID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.segments[placementKey(oid, attr, "")] = seg.ID()
+	db.mu.Unlock()
+	return seg, nil
+}
+
+// PlaceMediaOnDisc stores a media attribute's value on one disc of a
+// videodisc jukebox — the analog bulk tier ("an analog videodisc jukebox
+// provides a video storage capacity difficult to achieve using magnetic
+// disks", §3.3).
+func (db *Database) PlaceMediaOnDisc(oid schema.OID, attr, deviceID string, disc int) (*storage.Segment, error) {
+	d, err := db.GetAttr(oid, attr)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != schema.KindMedia {
+		return nil, fmt.Errorf("core: %v.%s is %v, not media", oid, attr, d.Kind())
+	}
+	seg, err := db.mediaSt.PlaceOnDisc(d.MediaVal(), deviceID, disc)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.segments[placementKey(oid, attr, "")] = seg.ID()
+	db.mu.Unlock()
+	return seg, nil
+}
+
+// PlaceTrack places one track of a tcomp attribute.
+func (db *Database) PlaceTrack(oid schema.OID, attr, track, deviceID string, rate media.DataRate) (*storage.Segment, error) {
+	d, err := db.GetAttr(oid, attr)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != schema.KindTComp {
+		return nil, fmt.Errorf("core: %v.%s is %v, not a tcomp", oid, attr, d.Kind())
+	}
+	tr, ok := d.TCompVal().Track(track)
+	if !ok {
+		return nil, fmt.Errorf("core: %v.%s has no track %q", oid, attr, track)
+	}
+	var seg *storage.Segment
+	if deviceID == "" {
+		seg, err = db.mediaSt.PlaceAuto(tr.Value, rate)
+	} else {
+		seg, err = db.mediaSt.Place(tr.Value, deviceID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.segments[placementKey(oid, attr, track)] = seg.ID()
+	db.mu.Unlock()
+	return seg, nil
+}
+
+// Placement reports where a media attribute (or track) is stored.
+func (db *Database) Placement(oid schema.OID, attr, track string) (*storage.Segment, bool) {
+	db.mu.Lock()
+	id, ok := db.segments[placementKey(oid, attr, track)]
+	db.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return db.mediaSt.Get(id)
+}
+
+// Crash simulates loss of the database's volatile state: objects, index
+// structures and the volatile store vanish; the WAL and the media
+// segments on devices survive.
+func (db *Database) Crash() {
+	db.kv.Crash()
+	db.objects = schema.NewStore()
+	db.engine = query.NewEngine(db.schema, db.objects)
+}
+
+// Recover rebuilds the scalar object state from the WAL.  Media
+// attributes are re-attached from their surviving segments.  Attribute
+// indexes are volatile structures: recreate them with CreateIndex after
+// recovery (they rebuild from the recovered extent).
+func (db *Database) Recover() error {
+	db.kv.Recover()
+	// Pass 1: recreate objects.
+	type pending struct {
+		oid   schema.OID
+		class *schema.Class
+	}
+	var objs []pending
+	attrs := make(map[schema.OID][]string)
+	for _, rec := range db.kv.WAL().Records() {
+		key := rec.Key
+		switch {
+		case strings.HasPrefix(key, "objmeta/"):
+			oid, err := parseOID(strings.TrimPrefix(key, "objmeta/"))
+			if err != nil {
+				return err
+			}
+			val, live := db.kv.Get(key)
+			if !live {
+				continue // deleted object
+			}
+			c, ok := db.schema.Class(string(val))
+			if !ok {
+				return fmt.Errorf("core: recovery found unknown class %q", val)
+			}
+			objs = append(objs, pending{oid, c})
+		case strings.HasPrefix(key, "attr/"):
+			rest := strings.TrimPrefix(key, "attr/")
+			slash := strings.IndexByte(rest, '/')
+			if slash < 0 {
+				return fmt.Errorf("core: malformed attribute key %q", key)
+			}
+			oid, err := parseOID(rest[:slash])
+			if err != nil {
+				return err
+			}
+			attrs[oid] = append(attrs[oid], rest[slash+1:])
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].oid < objs[j].oid })
+	restored := make(map[schema.OID]*schema.Object)
+	for _, p := range objs {
+		if _, dup := restored[p.oid]; dup {
+			continue
+		}
+		o, err := db.objects.RestoreObject(p.class, p.oid)
+		if err != nil {
+			return err
+		}
+		restored[p.oid] = o
+	}
+	// Pass 2: restore committed scalar attributes.
+	for oid, names := range attrs {
+		o, ok := restored[oid]
+		if !ok {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, attr := range names {
+			if seen[attr] {
+				continue
+			}
+			seen[attr] = true
+			enc, live := db.kv.Get(attrKey(oid, attr))
+			if !live {
+				continue
+			}
+			d, err := decodeDatum(enc)
+			if err != nil {
+				return fmt.Errorf("core: recovering %v.%s: %w", oid, attr, err)
+			}
+			if err := o.Set(attr, d); err != nil {
+				return fmt.Errorf("core: recovering %v.%s: %w", oid, attr, err)
+			}
+		}
+	}
+	if err := db.recoverLinks(db.kv.WAL().Records()); err != nil {
+		return err
+	}
+	// Pass 3: re-attach surviving media segments.
+	db.mu.Lock()
+	placements := make(map[string]storage.SegID, len(db.segments))
+	for k, v := range db.segments {
+		placements[k] = v
+	}
+	db.mu.Unlock()
+	for key, segID := range placements {
+		seg, ok := db.mediaSt.Get(segID)
+		if !ok {
+			continue
+		}
+		oid, attr, track, err := parsePlacementKey(key)
+		if err != nil {
+			return err
+		}
+		o, ok := restored[oid]
+		if !ok {
+			continue
+		}
+		if track == "" {
+			if err := o.Set(attr, schema.Media(seg.Value())); err != nil {
+				return fmt.Errorf("core: re-attaching %v.%s: %w", oid, attr, err)
+			}
+		}
+		// Tracks of tcomp attributes are re-attached by the application
+		// rebuilding the composite; scalar state and segments survive.
+	}
+	return nil
+}
+
+func isScalar(k schema.AttrKind) bool {
+	switch k {
+	case schema.KindString, schema.KindInt, schema.KindFloat, schema.KindBool, schema.KindDate:
+		return true
+	}
+	return false
+}
+
+func metaKey(oid schema.OID) string { return "objmeta/" + strconv.FormatUint(uint64(oid), 10) }
+
+func attrKey(oid schema.OID, attr string) string {
+	return "attr/" + strconv.FormatUint(uint64(oid), 10) + "/" + attr
+}
+
+func placementKey(oid schema.OID, attr, track string) string {
+	k := strconv.FormatUint(uint64(oid), 10) + "/" + attr
+	if track != "" {
+		k += "/" + track
+	}
+	return k
+}
+
+func parsePlacementKey(key string) (schema.OID, string, string, error) {
+	parts := strings.SplitN(key, "/", 3)
+	if len(parts) < 2 {
+		return 0, "", "", fmt.Errorf("core: malformed placement key %q", key)
+	}
+	oid, err := parseOID(parts[0])
+	if err != nil {
+		return 0, "", "", err
+	}
+	track := ""
+	if len(parts) == 3 {
+		track = parts[2]
+	}
+	return oid, parts[1], track, nil
+}
+
+func parseOID(s string) (schema.OID, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: malformed OID %q", s)
+	}
+	return schema.OID(v), nil
+}
+
+// walDatum is the gob envelope for scalar datum persistence.
+type walDatum struct {
+	Kind schema.AttrKind
+	Str  string
+	Int  int64
+	Flt  float64
+	Bool bool
+	Time time.Time
+}
+
+func encodeDatum(d schema.Datum) ([]byte, error) {
+	wd := walDatum{Kind: d.Kind(), Str: d.Str(), Int: d.IntVal(), Flt: d.FloatVal(), Bool: d.BoolVal(), Time: d.DateVal()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wd); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeDatum(b []byte) (schema.Datum, error) {
+	var wd walDatum
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&wd); err != nil {
+		return schema.Datum{}, err
+	}
+	switch wd.Kind {
+	case schema.KindString:
+		return schema.String(wd.Str), nil
+	case schema.KindInt:
+		return schema.Int(wd.Int), nil
+	case schema.KindFloat:
+		return schema.Float(wd.Flt), nil
+	case schema.KindBool:
+		return schema.Bool(wd.Bool), nil
+	case schema.KindDate:
+		return schema.Date(wd.Time), nil
+	}
+	return schema.Datum{}, fmt.Errorf("core: cannot decode datum kind %v", wd.Kind)
+}
+
+// ResourcesForVideo estimates the admission-control bundle a video stream
+// of the given quality needs: one staging buffer, CPU and bus budget at
+// the stream's data rate.
+func ResourcesForVideo(q media.VideoQuality) sched.Resources {
+	r := q.DataRate()
+	return sched.Resources{Buffers: 1, CPU: r, Bus: r}
+}
+
+// ResourcesForAudio estimates the bundle for an audio stream.
+func ResourcesForAudio(q media.AudioQuality) sched.Resources {
+	r := q.DataRate()
+	return sched.Resources{Buffers: 1, CPU: r, Bus: r}
+}

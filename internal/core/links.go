@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"avdb/internal/schema"
+	"avdb/internal/txn"
+)
+
+// Link is a hypermedia link between two stored objects — Scenario I's
+// interface "which links, for example, the documents describing a project
+// to the video of a presentation by the project leader."
+type Link struct {
+	From, To schema.OID
+	Label    string
+}
+
+// String formats the link.
+func (l Link) String() string {
+	return fmt.Sprintf("%v -[%s]-> %v", l.From, l.Label, l.To)
+}
+
+// linkStore indexes links in both directions.
+type linkStore struct {
+	mu      sync.RWMutex
+	forward map[schema.OID][]Link
+	back    map[schema.OID][]Link
+}
+
+func newLinkStore() *linkStore {
+	return &linkStore{forward: make(map[schema.OID][]Link), back: make(map[schema.OID][]Link)}
+}
+
+func (ls *linkStore) add(l Link) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	for _, e := range ls.forward[l.From] {
+		if e == l {
+			return false
+		}
+	}
+	ls.forward[l.From] = append(ls.forward[l.From], l)
+	ls.back[l.To] = append(ls.back[l.To], l)
+	return true
+}
+
+func (ls *linkStore) remove(l Link) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	removed := false
+	ls.forward[l.From], removed = drop(ls.forward[l.From], l)
+	if removed {
+		ls.back[l.To], _ = drop(ls.back[l.To], l)
+	}
+	return removed
+}
+
+func drop(s []Link, l Link) ([]Link, bool) {
+	for i, e := range s {
+		if e == l {
+			return append(s[:i], s[i+1:]...), true
+		}
+	}
+	return s, false
+}
+
+func (ls *linkStore) from(oid schema.OID) []Link {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	out := append([]Link(nil), ls.forward[oid]...)
+	sortLinks(out)
+	return out
+}
+
+func (ls *linkStore) to(oid schema.OID) []Link {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	out := append([]Link(nil), ls.back[oid]...)
+	sortLinks(out)
+	return out
+}
+
+func sortLinks(ls []Link) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].To != ls[j].To {
+			return ls[i].To < ls[j].To
+		}
+		return ls[i].Label < ls[j].Label
+	})
+}
+
+// AddLink records a durable hypermedia link between two live objects.
+// Adding the same link twice is a no-op.
+func (db *Database) AddLink(from, to schema.OID, label string) error {
+	if label == "" || strings.Contains(label, "/") {
+		return fmt.Errorf("core: link label must be non-empty and slash-free, got %q", label)
+	}
+	if _, ok := db.objects.Get(from); !ok {
+		return fmt.Errorf("core: no object %v", from)
+	}
+	if _, ok := db.objects.Get(to); !ok {
+		return fmt.Errorf("core: no object %v", to)
+	}
+	l := Link{From: from, To: to, Label: label}
+	if !db.links.add(l) {
+		return nil
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := db.kv.Put(tx, linkKey(l), []byte{1}); err != nil {
+		return err
+	}
+	db.kv.Commit(tx)
+	return tx.Commit()
+}
+
+// RemoveLink deletes a link; removing a missing link is an error.
+func (db *Database) RemoveLink(from, to schema.OID, label string) error {
+	l := Link{From: from, To: to, Label: label}
+	if !db.links.remove(l) {
+		return fmt.Errorf("core: no link %v", l)
+	}
+	tx := db.txns.Begin()
+	defer tx.Abort()
+	if err := db.kv.Put(tx, linkKey(l), nil); err != nil {
+		return err
+	}
+	db.kv.Commit(tx)
+	return tx.Commit()
+}
+
+// Links returns the outgoing links of an object, sorted.
+func (db *Database) Links(from schema.OID) []Link { return db.links.from(from) }
+
+// Backlinks returns the links pointing at an object, sorted.
+func (db *Database) Backlinks(to schema.OID) []Link { return db.links.to(to) }
+
+func linkKey(l Link) string {
+	return fmt.Sprintf("link/%d/%d/%s", uint64(l.From), uint64(l.To), l.Label)
+}
+
+// recoverLinks rebuilds the link store from the recovered WAL state.
+func (db *Database) recoverLinks(records []txn.Record) error {
+	db.links = newLinkStore()
+	seen := make(map[string]bool)
+	for _, rec := range records {
+		if !strings.HasPrefix(rec.Key, "link/") || seen[rec.Key] {
+			continue
+		}
+		seen[rec.Key] = true
+		if _, live := db.kv.Get(rec.Key); !live {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimPrefix(rec.Key, "link/"), "/", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("core: malformed link key %q", rec.Key)
+		}
+		from, err := parseOID(parts[0])
+		if err != nil {
+			return err
+		}
+		to, err := parseOID(parts[1])
+		if err != nil {
+			return err
+		}
+		db.links.add(Link{From: from, To: to, Label: parts[2]})
+	}
+	return nil
+}

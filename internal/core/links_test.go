@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"avdb/internal/media"
+	"avdb/internal/schema"
+)
+
+func TestHypermediaLinks(t *testing.T) {
+	db := testDB(t)
+	video := storeNewscast(t, db, "60 Minutes", 2)
+	doc, err := db.NewObject("MediaObject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetAttr(doc.OID(), "title", schema.String("Project X design doc")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.AddLink(doc.OID(), video, "presentation"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddLink(doc.OID(), video, "presentation"); err != nil {
+		t.Errorf("re-adding a link should be a no-op: %v", err)
+	}
+	if err := db.AddLink(doc.OID(), video, "demo"); err != nil {
+		t.Fatal(err)
+	}
+
+	out := db.Links(doc.OID())
+	if len(out) != 2 || out[0].Label != "demo" || out[1].Label != "presentation" {
+		t.Errorf("Links = %v", out)
+	}
+	back := db.Backlinks(video)
+	if len(back) != 2 || back[0].From != doc.OID() {
+		t.Errorf("Backlinks = %v", back)
+	}
+	if db.Links(video) != nil {
+		t.Error("video has no outgoing links")
+	}
+	if out[0].String() == "" {
+		t.Error("empty String")
+	}
+
+	// Validation.
+	if err := db.AddLink(9999, video, "x"); err == nil {
+		t.Error("link from missing object accepted")
+	}
+	if err := db.AddLink(doc.OID(), 9999, "x"); err == nil {
+		t.Error("link to missing object accepted")
+	}
+	if err := db.AddLink(doc.OID(), video, ""); err == nil {
+		t.Error("empty label accepted")
+	}
+	if err := db.AddLink(doc.OID(), video, "a/b"); err == nil {
+		t.Error("slash label accepted")
+	}
+
+	// Removal.
+	if err := db.RemoveLink(doc.OID(), video, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveLink(doc.OID(), video, "demo"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if got := db.Links(doc.OID()); len(got) != 1 {
+		t.Errorf("after remove: %v", got)
+	}
+}
+
+func TestLinksSurviveCrash(t *testing.T) {
+	db := testDB(t)
+	video := storeNewscast(t, db, "60 Minutes", 2)
+	doc, err := db.NewObject("MediaObject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetAttr(doc.OID(), "title", schema.String("doc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddLink(doc.OID(), video, "presentation"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddLink(doc.OID(), video, "deleted-later"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveLink(doc.OID(), video, "deleted-later"); err != nil {
+		t.Fatal(err)
+	}
+
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	out := db.Links(doc.OID())
+	if len(out) != 1 || out[0].Label != "presentation" || out[0].To != video {
+		t.Errorf("links after recovery = %v", out)
+	}
+	if back := db.Backlinks(video); len(back) != 1 {
+		t.Errorf("backlinks after recovery = %v", back)
+	}
+}
+
+func TestRetrieveAtQualityTemporalScaling(t *testing.T) {
+	clip := testClip(60) // 2s at 30fps
+	// Raw value, lower frame rate requested: frames are dropped.
+	lowFPS := media.VideoQuality{Width: 32, Height: 24, Depth: 8, FPS: 15}
+	v, info, err := RetrieveAtQuality(clip, lowFPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != "frame-drop" {
+		t.Errorf("method = %s", info.Method)
+	}
+	if v.NumElements() != 30 {
+		t.Errorf("frames = %d, want 30", v.NumElements())
+	}
+	// Scalable value, lower resolution AND rate: layers and frames drop.
+	enc, err := importScalable(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := media.VideoQuality{Width: 16, Height: 12, Depth: 8, FPS: 10}
+	v2, info2, err := RetrieveAtQuality(enc, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Method != "layer-drop" {
+		t.Errorf("method = %s", info2.Method)
+	}
+	if v2.NumElements() != 20 {
+		t.Errorf("frames = %d, want 20", v2.NumElements())
+	}
+	if v2.Duration() != enc.Duration() {
+		t.Errorf("duration changed: %v -> %v", enc.Duration(), v2.Duration())
+	}
+}
+
+func importScalable(clip *media.VideoValue) (media.Value, error) {
+	db := Open(Config{})
+	return db.ImportVideo(clip, RepresentationHints{Scalable: true})
+}

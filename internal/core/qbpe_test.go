@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"avdb/internal/media"
+	"avdb/internal/schema"
+	"avdb/internal/synth"
+)
+
+func TestFindSimilarRanksByContent(t *testing.T) {
+	db := testDB(t)
+	store := func(title string, p synth.Pattern, seed int64) schema.OID {
+		o, err := db.NewObject("SimpleNewscast")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttr(o.OID(), "title", schema.String(title)); err != nil {
+			t.Fatal(err)
+		}
+		clip := synth.Video(media.TypeRawVideo30, p, 32, 24, 8, 10, seed)
+		if err := db.SetAttr(o.OID(), "videoTrack", schema.Media(clip)); err != nil {
+			t.Fatal(err)
+		}
+		return o.OID()
+	}
+	bars := store("bars", synth.PatternBars, 1)
+	store("noise", synth.PatternNoise, 2)
+	checker := store("checker", synth.PatternChecker, 3)
+
+	// Querying with a bars example ranks the bars clip first.
+	example := synth.Video(media.TypeRawVideo30, synth.PatternBars, 32, 24, 8, 1, 9)
+	f, _ := example.Frame(0)
+	matches, err := db.FindSimilar("SimpleNewscast", "videoTrack", f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	if matches[0].OID != bars {
+		t.Errorf("closest = %v, want bars (%v): %v", matches[0].OID, bars, matches)
+	}
+	if matches[0].Distance > 0.01 {
+		t.Errorf("identical-pattern distance = %v", matches[0].Distance)
+	}
+	if matches[1].Distance <= matches[0].Distance {
+		t.Error("results not ordered by distance")
+	}
+	// A checker example ranks checker first.
+	cexample := synth.Video(media.TypeRawVideo30, synth.PatternChecker, 32, 24, 8, 1, 9)
+	cf, _ := cexample.Frame(0)
+	cm, err := db.FindSimilar("SimpleNewscast", "videoTrack", cf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[0].OID != checker {
+		t.Errorf("closest to checker example = %v", cm[0].OID)
+	}
+
+	// Validation.
+	if _, err := db.FindSimilar("SimpleNewscast", "videoTrack", nil, 1); err == nil {
+		t.Error("nil example accepted")
+	}
+	if _, err := db.FindSimilar("SimpleNewscast", "videoTrack", f, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := db.FindSimilar("Nope", "videoTrack", f, 1); err == nil {
+		t.Error("missing class accepted")
+	}
+	if _, err := db.FindSimilar("SimpleNewscast", "nope", f, 1); err == nil {
+		t.Error("missing attribute accepted")
+	}
+	if _, err := db.FindSimilar("SimpleNewscast", "title", f, 1); err == nil {
+		t.Error("string attribute accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/storage"
+)
+
+// Session is one client's connection to the database: the scope in which
+// activities are created, resources allocated, values bound and streams
+// started.  Its shape follows §4.3's pseudo-code line by line: create
+// activities (allocating resources — "if insufficient resources were
+// available this statement would fail"), connect ports (allocating
+// network bandwidth), query, bind, start.
+type Session struct {
+	db     *Database
+	id     string
+	client string
+	link   *netsim.Link
+	graph  *activity.Graph
+
+	mu       sync.Mutex
+	grants   []*sched.Grant
+	conns    []*netsim.Conn
+	streams  []*storage.Stream
+	devices  []string
+	playback *Playback
+	closed   bool
+}
+
+// Connect opens a session for a client reachable over the given network
+// link.
+func (db *Database) Connect(client, linkID string) (*Session, error) {
+	link, ok := db.network.Link(linkID)
+	if !ok {
+		return nil, fmt.Errorf("core: no network link %q", linkID)
+	}
+	db.mu.Lock()
+	db.nextSession++
+	id := fmt.Sprintf("%s/session-%d", db.name, db.nextSession)
+	db.mu.Unlock()
+	return &Session{
+		db: db, id: id, client: client, link: link,
+		graph: activity.NewGraph(id),
+	}, nil
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Graph exposes the session's activity graph.
+func (s *Session) Graph() *activity.Graph { return s.graph }
+
+// Install adds an activity to the session.  Database-located activities
+// reserve res from the database's admission budget first — creating an
+// activity IS allocating resources (§4.3) — and installation fails when
+// the budget cannot cover it.
+func (s *Session) Install(act activity.Activity, res sched.Resources) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session %s is closed", s.id)
+	}
+	if act.Location() == activity.AtDatabase && !res.IsZero() {
+		g, err := s.db.admission.Reserve(res)
+		if err != nil {
+			return err
+		}
+		s.grants = append(s.grants, g)
+	}
+	if err := s.graph.Add(act); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AcquireDevice grants the session exclusive use of a platform device
+// (an effects processor, a DAC, the jukebox).  The device is released at
+// session close.
+func (s *Session) AcquireDevice(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session %s is closed", s.id)
+	}
+	if err := s.db.devices.Acquire(id, s.id); err != nil {
+		return err
+	}
+	s.devices = append(s.devices, id)
+	return nil
+}
+
+// Connect wires two activity ports.  A connection crossing the
+// database/application boundary reserves rate on the session's network
+// link and fails when the link cannot sustain it.
+func (s *Session) Connect(from activity.Activity, fromPort string, to activity.Activity, toPort string, rate media.DataRate) (*activity.Connection, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: session %s is closed", s.id)
+	}
+	if from.Location() == to.Location() {
+		return s.graph.Connect(from, fromPort, to, toPort)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("core: a cross-location connection needs a positive rate")
+	}
+	nc, err := s.link.Connect(rate)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := s.graph.ConnectVia(from, fromPort, to, toPort, nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	s.conns = append(s.conns, nc)
+	return conn, nil
+}
+
+// streamAttacher is satisfied by reader activities that can pay storage
+// read time per chunk.
+type streamAttacher interface {
+	AttachStream(*storage.Stream)
+}
+
+// BindValue binds the media value of oid.attr to an activity port —
+// §4.3's "bind myNews.videoTrack to dbSource".  The paper's location
+// rule is enforced: "activities bound to database values must be located
+// with the database."  When the value has a placement, a storage stream
+// at the given rate is opened and attached so delivery pays device time.
+func (s *Session) BindValue(oid schema.OID, attr string, act activity.Activity, port string, rate media.DataRate) error {
+	if act.Location() != activity.AtDatabase {
+		return fmt.Errorf("core: activities bound to database values must be located with the database; %s is at the application", act.Name())
+	}
+	d, err := s.db.GetAttr(oid, attr)
+	if err != nil {
+		return err
+	}
+	if d.Kind() != schema.KindMedia {
+		return fmt.Errorf("core: %v.%s is %v, not media", oid, attr, d.Kind())
+	}
+	if err := act.Bind(d.MediaVal(), port); err != nil {
+		return err
+	}
+	return s.attachPlacement(oid, attr, "", act, rate)
+}
+
+// BindTrack binds one track of a tcomp attribute to an activity port —
+// the component bindings behind "bind myNews.clip to dbSource".
+func (s *Session) BindTrack(oid schema.OID, attr, track string, act activity.Activity, port string, rate media.DataRate) error {
+	if act.Location() != activity.AtDatabase {
+		return fmt.Errorf("core: activities bound to database values must be located with the database; %s is at the application", act.Name())
+	}
+	d, err := s.db.GetAttr(oid, attr)
+	if err != nil {
+		return err
+	}
+	if d.Kind() != schema.KindTComp {
+		return fmt.Errorf("core: %v.%s is %v, not a tcomp", oid, attr, d.Kind())
+	}
+	tr, ok := d.TCompVal().Track(track)
+	if !ok {
+		return fmt.Errorf("core: %v.%s has no track %q", oid, attr, track)
+	}
+	if err := act.Bind(tr.Value, port); err != nil {
+		return err
+	}
+	return s.attachPlacement(oid, attr, track, act, rate)
+}
+
+// BindClip binds every track of a tcomp attribute to the same-named
+// component of a composite activity — the paper's one-statement
+// "bind myNews.clip to dbSource".
+func (s *Session) BindClip(oid schema.OID, attr string, comp *activity.Composite, rate media.DataRate) error {
+	d, err := s.db.GetAttr(oid, attr)
+	if err != nil {
+		return err
+	}
+	if d.Kind() != schema.KindTComp {
+		return fmt.Errorf("core: %v.%s is %v, not a tcomp", oid, attr, d.Kind())
+	}
+	for _, child := range comp.Children() {
+		if _, ok := d.TCompVal().Track(child.Name()); !ok {
+			continue // components without a matching track keep their binding
+		}
+		if err := s.BindTrack(oid, attr, child.Name(), child, "out", rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) attachPlacement(oid schema.OID, attr, track string, act activity.Activity, rate media.DataRate) error {
+	seg, ok := s.db.Placement(oid, attr, track)
+	if !ok || rate <= 0 {
+		return nil
+	}
+	at, ok := act.(streamAttacher)
+	if !ok {
+		return nil
+	}
+	stream, _, err := s.db.mediaSt.OpenStream(seg.ID(), rate)
+	if err != nil {
+		return err
+	}
+	at.AttachStream(stream)
+	s.mu.Lock()
+	s.streams = append(s.streams, stream)
+	s.mu.Unlock()
+	return nil
+}
+
+// Playback is the handle of one started stream: the asynchronous side of
+// the client interface.  "The client does not want to block during such
+// transfers.  Rather it needs to initiate the transfer and then proceed
+// to other tasks, perhaps being informed when the transfer is complete."
+type Playback struct {
+	graph *activity.Graph
+	done  chan struct{}
+
+	mu    sync.Mutex
+	stats *activity.RunStats
+	err   error
+}
+
+// Start launches the session's graph.  It returns immediately; the
+// stream runs against the database clock and completion is observed via
+// the returned Playback.
+func (s *Session) Start() (*Playback, error) {
+	return s.StartAt(avtime.RateVideo30, 0)
+}
+
+// StartAt launches the graph at a specific tick rate; maxTicks <= 0 runs
+// until the sources finish.
+func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: session %s is closed", s.id)
+	}
+	if s.playback != nil {
+		select {
+		case <-s.playback.done:
+			// previous playback finished; allow a new one
+		default:
+			return nil, fmt.Errorf("core: session %s already has a running stream", s.id)
+		}
+	}
+	if err := s.graph.Start(); err != nil {
+		return nil, err
+	}
+	p := &Playback{graph: s.graph, done: make(chan struct{})}
+	s.playback = p
+	go func() {
+		stats, err := s.graph.Run(activity.RunConfig{Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks})
+		p.mu.Lock()
+		p.stats, p.err = stats, err
+		p.mu.Unlock()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// Done returns a channel closed when the stream completes — the
+// asynchronous notification of §3.3.
+func (p *Playback) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until completion and returns the run statistics.
+func (p *Playback) Wait() (*activity.RunStats, error) {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats, p.err
+}
+
+// Stop halts the stream; Wait still returns its statistics.
+func (p *Playback) Stop() { p.graph.Stop() }
+
+// Close stops any running stream and releases every resource the session
+// holds: admission grants, network connections, storage streams and
+// exclusive devices.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	playback := s.playback
+	grants := s.grants
+	conns := s.conns
+	streams := s.streams
+	s.grants, s.conns, s.streams, s.devices = nil, nil, nil, nil
+	s.mu.Unlock()
+
+	if playback != nil {
+		playback.Stop()
+		<-playback.done
+	} else {
+		s.graph.Stop()
+	}
+	for _, g := range grants {
+		g.Release()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, st := range streams {
+		st.Close()
+	}
+	s.db.devices.ReleaseAll(s.id)
+}
+
+// Link returns the session's network link.
+func (s *Session) Link() *netsim.Link { return s.link }

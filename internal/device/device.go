@@ -1,0 +1,369 @@
+// Package device models the special-purpose hardware an AV database
+// platform controls (§3.3 "database platform"): storage devices (magnetic
+// disks, an analog videodisc jukebox), converters (ADC/DAC), signal
+// processors, framebuffers and video-effects processors.
+//
+// Devices expose the two properties the paper's design arguments rest on:
+// bounded bandwidth (shared devices admit reservations up to a budget and
+// refuse beyond it) and exclusivity (some devices serve one client at a
+// time and must be acquired).  Timing is modeled, not incurred: a device
+// reports how long an operation takes in world time and the scheduler
+// advances its virtual clock accordingly.
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+// Kind classifies a device.
+type Kind int
+
+// The device kinds of the platform.
+const (
+	KindDisk Kind = iota
+	KindJukebox
+	KindFramebuffer
+	KindADC
+	KindDAC
+	KindDSP
+	KindEffects
+)
+
+var kindNames = [...]string{
+	KindDisk:        "disk",
+	KindJukebox:     "jukebox",
+	KindFramebuffer: "framebuffer",
+	KindADC:         "adc",
+	KindDAC:         "dac",
+	KindDSP:         "dsp",
+	KindEffects:     "effects-processor",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Device is a piece of platform hardware.
+type Device interface {
+	// ID returns the device's unique identifier.
+	ID() string
+	// DeviceKind reports what the device is.
+	DeviceKind() Kind
+	// Exclusive reports whether the device serves one client at a time.
+	Exclusive() bool
+}
+
+// ErrBandwidth is wrapped by bandwidth-reservation failures.
+var ErrBandwidth = fmt.Errorf("device: insufficient bandwidth")
+
+// ErrCapacity is wrapped by space-allocation failures.
+var ErrCapacity = fmt.Errorf("device: insufficient capacity")
+
+// bwAccount is a reservable bandwidth budget shared by disks and the
+// jukebox.
+type bwAccount struct {
+	mu       sync.Mutex
+	total    media.DataRate
+	reserved media.DataRate
+}
+
+func (b *bwAccount) reserve(r media.DataRate) error {
+	if r < 0 {
+		return fmt.Errorf("device: negative bandwidth reservation %v", r)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.reserved+r > b.total {
+		return fmt.Errorf("%w: %v requested, %v of %v free", ErrBandwidth, r, b.total-b.reserved, b.total)
+	}
+	b.reserved += r
+	return nil
+}
+
+func (b *bwAccount) release(r media.DataRate) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reserved -= r
+	if b.reserved < 0 {
+		b.reserved = 0
+	}
+}
+
+func (b *bwAccount) free() media.DataRate {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.reserved
+}
+
+func (b *bwAccount) reservedNow() media.DataRate {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserved
+}
+
+// Disk is a magnetic disk: a capacity, a sustained transfer bandwidth and
+// an average positioning (seek) time.  Bandwidth reservations implement
+// the paper's resource pre-allocation: a stream reserves its data rate
+// before flowing and competing reservations fail once the disk is fully
+// subscribed.
+type Disk struct {
+	id       string
+	capacity int64
+	seek     avtime.WorldTime
+	bw       bwAccount
+
+	mu   sync.Mutex
+	used int64
+}
+
+// NewDisk returns a disk with the given geometry.
+func NewDisk(id string, capacity int64, bandwidth media.DataRate, seek avtime.WorldTime) *Disk {
+	if capacity <= 0 || bandwidth <= 0 || seek < 0 {
+		panic(fmt.Sprintf("device: invalid disk %q: cap=%d bw=%v seek=%v", id, capacity, bandwidth, seek))
+	}
+	d := &Disk{id: id, capacity: capacity, seek: seek}
+	d.bw.total = bandwidth
+	return d
+}
+
+// ID implements Device.
+func (d *Disk) ID() string { return d.id }
+
+// DeviceKind implements Device.
+func (d *Disk) DeviceKind() Kind { return KindDisk }
+
+// Exclusive implements Device: disks are shared under bandwidth control.
+func (d *Disk) Exclusive() bool { return false }
+
+// Capacity reports the disk's total capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.capacity }
+
+// Used reports the bytes currently allocated.
+func (d *Disk) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Allocate accounts for bytes of new data, failing when the disk is full.
+func (d *Disk) Allocate(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("device: negative allocation %d", bytes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+bytes > d.capacity {
+		return fmt.Errorf("%w: disk %q: %d requested, %d free", ErrCapacity, d.id, bytes, d.capacity-d.used)
+	}
+	d.used += bytes
+	return nil
+}
+
+// Free returns bytes to the disk.
+func (d *Disk) Free(bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.used -= bytes
+	if d.used < 0 {
+		d.used = 0
+	}
+}
+
+// TotalBandwidth reports the disk's sustained transfer rate.
+func (d *Disk) TotalBandwidth() media.DataRate { return d.bw.total }
+
+// FreeBandwidth reports the unreserved bandwidth.
+func (d *Disk) FreeBandwidth() media.DataRate { return d.bw.free() }
+
+// ReservedBandwidth reports the bandwidth currently reserved.
+func (d *Disk) ReservedBandwidth() media.DataRate { return d.bw.reservedNow() }
+
+// Reserve pre-allocates bandwidth for a stream, failing when the disk
+// cannot sustain it alongside existing reservations.
+func (d *Disk) Reserve(r media.DataRate) error { return d.bw.reserve(r) }
+
+// Release returns reserved bandwidth.
+func (d *Disk) Release(r media.DataRate) { d.bw.release(r) }
+
+// TransferTime reports the world time needed to move the given bytes with
+// the given number of positioning operations.
+func (d *Disk) TransferTime(bytes int64, seeks int) avtime.WorldTime {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if seeks < 0 {
+		seeks = 0
+	}
+	xfer := avtime.WorldTime(bytes * int64(avtime.Second) / int64(d.bw.total))
+	return avtime.WorldTime(seeks)*d.seek + xfer
+}
+
+// SeekTime reports one average positioning time.
+func (d *Disk) SeekTime() avtime.WorldTime { return d.seek }
+
+// Jukebox is an analog videodisc jukebox: several discs, one of which is
+// loaded at a time; switching discs costs a swap latency.  "An analog
+// videodisc jukebox provides a video storage capacity difficult to achieve
+// using magnetic disks" (§3.3) — here it is the bulk tier for LV-encoded
+// values.
+type Jukebox struct {
+	id      string
+	perDisc int64
+	swap    avtime.WorldTime
+	bw      bwAccount
+
+	mu      sync.Mutex
+	used    []int64
+	current int
+}
+
+// NewJukebox returns a jukebox with the given number of discs.
+func NewJukebox(id string, discs int, perDiscCapacity int64, bandwidth media.DataRate, swap avtime.WorldTime) *Jukebox {
+	if discs <= 0 || perDiscCapacity <= 0 || bandwidth <= 0 || swap < 0 {
+		panic(fmt.Sprintf("device: invalid jukebox %q", id))
+	}
+	j := &Jukebox{id: id, perDisc: perDiscCapacity, swap: swap, used: make([]int64, discs)}
+	j.bw.total = bandwidth
+	return j
+}
+
+// ID implements Device.
+func (j *Jukebox) ID() string { return j.id }
+
+// DeviceKind implements Device.
+func (j *Jukebox) DeviceKind() Kind { return KindJukebox }
+
+// Exclusive implements Device: the single reading head serializes access,
+// so the jukebox is acquired exclusively.
+func (j *Jukebox) Exclusive() bool { return true }
+
+// Discs reports the number of discs.
+func (j *Jukebox) Discs() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.used)
+}
+
+// CurrentDisc reports the loaded disc.
+func (j *Jukebox) CurrentDisc() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.current
+}
+
+// Capacity reports the total capacity across discs.
+func (j *Jukebox) Capacity() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.perDisc * int64(len(j.used))
+}
+
+// Allocate accounts for bytes on the given disc.
+func (j *Jukebox) Allocate(disc int, bytes int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disc < 0 || disc >= len(j.used) {
+		return fmt.Errorf("device: jukebox %q has no disc %d", j.id, disc)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("device: negative allocation %d", bytes)
+	}
+	if j.used[disc]+bytes > j.perDisc {
+		return fmt.Errorf("%w: disc %d: %d requested, %d free", ErrCapacity, disc, bytes, j.perDisc-j.used[disc])
+	}
+	j.used[disc] += bytes
+	return nil
+}
+
+// Free returns bytes on the given disc.
+func (j *Jukebox) Free(disc int, bytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disc < 0 || disc >= len(j.used) {
+		return
+	}
+	j.used[disc] -= bytes
+	if j.used[disc] < 0 {
+		j.used[disc] = 0
+	}
+}
+
+// AccessTime reports the world time to read bytes from the given disc,
+// including a swap if it is not loaded, and loads it.
+func (j *Jukebox) AccessTime(disc int, bytes int64) (avtime.WorldTime, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disc < 0 || disc >= len(j.used) {
+		return 0, fmt.Errorf("device: jukebox %q has no disc %d", j.id, disc)
+	}
+	var t avtime.WorldTime
+	if disc != j.current {
+		t += j.swap
+		j.current = disc
+	}
+	if bytes > 0 {
+		t += avtime.WorldTime(bytes * int64(avtime.Second) / int64(j.bw.total))
+	}
+	return t, nil
+}
+
+// TotalBandwidth reports the read head's transfer rate.
+func (j *Jukebox) TotalBandwidth() media.DataRate { return j.bw.total }
+
+// Reserve pre-allocates read bandwidth.
+func (j *Jukebox) Reserve(r media.DataRate) error { return j.bw.reserve(r) }
+
+// Release returns reserved bandwidth.
+func (j *Jukebox) Release(r media.DataRate) { j.bw.release(r) }
+
+// Unit is a non-storage device: framebuffer, ADC, DAC, DSP or video
+// effects processor.  Throughput is the data rate the unit can process;
+// exclusive units (converters, framebuffers, effects processors — the
+// paper's expensive shared boxes) serve one owner at a time via the
+// Manager.
+type Unit struct {
+	id         string
+	kind       Kind
+	throughput media.DataRate
+	exclusive  bool
+}
+
+// NewUnit returns a non-storage device.
+func NewUnit(id string, kind Kind, throughput media.DataRate, exclusive bool) *Unit {
+	if kind == KindDisk || kind == KindJukebox {
+		panic(fmt.Sprintf("device: unit %q with storage kind %v", id, kind))
+	}
+	if throughput <= 0 {
+		panic(fmt.Sprintf("device: unit %q without throughput", id))
+	}
+	return &Unit{id: id, kind: kind, throughput: throughput, exclusive: exclusive}
+}
+
+// ID implements Device.
+func (u *Unit) ID() string { return u.id }
+
+// DeviceKind implements Device.
+func (u *Unit) DeviceKind() Kind { return u.kind }
+
+// Exclusive implements Device.
+func (u *Unit) Exclusive() bool { return u.exclusive }
+
+// Throughput reports the unit's processing rate.
+func (u *Unit) Throughput() media.DataRate { return u.throughput }
+
+// ProcessTime reports the world time the unit needs to process the given
+// bytes.
+func (u *Unit) ProcessTime(bytes int64) avtime.WorldTime {
+	if bytes <= 0 {
+		return 0
+	}
+	return avtime.WorldTime(bytes * int64(avtime.Second) / int64(u.throughput))
+}

@@ -1,0 +1,329 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+func testDisk() *Disk {
+	return NewDisk("disk0", 1_000_000, 10*media.MBPerSecond, 10*avtime.Millisecond)
+}
+
+func TestKindString(t *testing.T) {
+	if KindDisk.String() != "disk" || KindEffects.String() != "effects-processor" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("out-of-range kind name wrong")
+	}
+}
+
+func TestDiskAllocation(t *testing.T) {
+	d := testDisk()
+	if d.Capacity() != 1_000_000 || d.Used() != 0 {
+		t.Error("initial accounting wrong")
+	}
+	if err := d.Allocate(600_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Allocate(600_000); !errors.Is(err, ErrCapacity) {
+		t.Errorf("over-allocation error = %v", err)
+	}
+	d.Free(300_000)
+	if d.Used() != 300_000 {
+		t.Errorf("Used = %d", d.Used())
+	}
+	if err := d.Allocate(-1); err == nil {
+		t.Error("negative allocation accepted")
+	}
+	d.Free(1_000_000_000) // over-free clamps
+	if d.Used() != 0 {
+		t.Errorf("Used after over-free = %d", d.Used())
+	}
+}
+
+func TestDiskBandwidthReservation(t *testing.T) {
+	d := testDisk()
+	if d.TotalBandwidth() != 10*media.MBPerSecond {
+		t.Error("bandwidth wrong")
+	}
+	if err := d.Reserve(6 * media.MBPerSecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reserve(6 * media.MBPerSecond); !errors.Is(err, ErrBandwidth) {
+		t.Errorf("over-reservation error = %v", err)
+	}
+	if d.FreeBandwidth() != 4*media.MBPerSecond || d.ReservedBandwidth() != 6*media.MBPerSecond {
+		t.Error("free/reserved bandwidth wrong")
+	}
+	d.Release(6 * media.MBPerSecond)
+	if err := d.Reserve(10 * media.MBPerSecond); err != nil {
+		t.Errorf("full reservation after release failed: %v", err)
+	}
+	d.Release(100 * media.MBPerSecond) // over-release clamps
+	if d.ReservedBandwidth() != 0 {
+		t.Error("over-release did not clamp")
+	}
+	if err := d.Reserve(-1); err == nil {
+		t.Error("negative reservation accepted")
+	}
+}
+
+func TestDiskTransferTime(t *testing.T) {
+	d := testDisk()
+	// 1 MB at 10 MB/s = 100ms, plus one 10ms seek.
+	if got := d.TransferTime(1_000_000, 1); got != 110*avtime.Millisecond {
+		t.Errorf("TransferTime = %v, want 110ms", got)
+	}
+	if got := d.TransferTime(0, 0); got != 0 {
+		t.Errorf("zero transfer = %v", got)
+	}
+	if got := d.TransferTime(-5, -1); got != 0 {
+		t.Errorf("negative transfer = %v", got)
+	}
+	if d.SeekTime() != 10*avtime.Millisecond {
+		t.Error("SeekTime wrong")
+	}
+}
+
+func TestDiskConcurrentReservations(t *testing.T) {
+	d := NewDisk("d", 1000, 100*media.BytePerSecond, 0)
+	var wg sync.WaitGroup
+	grants := make(chan struct{}, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if d.Reserve(media.BytePerSecond) == nil {
+				grants <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(grants)
+	var n int
+	for range grants {
+		n++
+	}
+	if n != 100 {
+		t.Errorf("granted %d reservations of budget 100", n)
+	}
+}
+
+func TestJukebox(t *testing.T) {
+	j := NewJukebox("jb0", 3, 1000, 1*media.MBPerSecond, 5*avtime.Second)
+	if j.Discs() != 3 || j.Capacity() != 3000 || j.CurrentDisc() != 0 {
+		t.Error("jukebox geometry wrong")
+	}
+	if err := j.Allocate(1, 800); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Allocate(1, 300); !errors.Is(err, ErrCapacity) {
+		t.Errorf("disc over-allocation error = %v", err)
+	}
+	if err := j.Allocate(5, 1); err == nil {
+		t.Error("allocation on missing disc accepted")
+	}
+	if err := j.Allocate(0, -1); err == nil {
+		t.Error("negative allocation accepted")
+	}
+	j.Free(1, 800)
+	j.Free(9, 10) // no-op
+
+	// Reading the loaded disc has no swap; switching pays one.
+	dt, err := j.AccessTime(0, 1_000_000)
+	if err != nil || dt != avtime.Second {
+		t.Errorf("same-disc access = %v, %v", dt, err)
+	}
+	dt, err = j.AccessTime(2, 0)
+	if err != nil || dt != 5*avtime.Second {
+		t.Errorf("swap access = %v, %v", dt, err)
+	}
+	if j.CurrentDisc() != 2 {
+		t.Error("swap did not load disc")
+	}
+	if _, err := j.AccessTime(7, 0); err == nil {
+		t.Error("access to missing disc succeeded")
+	}
+	if !j.Exclusive() {
+		t.Error("jukebox should be exclusive")
+	}
+	if err := j.Reserve(2 * media.MBPerSecond); !errors.Is(err, ErrBandwidth) {
+		t.Error("jukebox over-reservation accepted")
+	}
+	if err := j.Reserve(media.MBPerSecond); err != nil {
+		t.Error(err)
+	}
+	j.Release(media.MBPerSecond)
+	if j.TotalBandwidth() != media.MBPerSecond {
+		t.Error("bandwidth wrong")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := NewUnit("fx0", KindEffects, 50*media.MBPerSecond, true)
+	if u.ID() != "fx0" || u.DeviceKind() != KindEffects || !u.Exclusive() {
+		t.Error("unit metadata wrong")
+	}
+	if u.Throughput() != 50*media.MBPerSecond {
+		t.Error("throughput wrong")
+	}
+	// 50 MB at 50 MB/s = 1s.
+	if got := u.ProcessTime(50_000_000); got != avtime.Second {
+		t.Errorf("ProcessTime = %v", got)
+	}
+	if got := u.ProcessTime(-1); got != 0 {
+		t.Errorf("negative ProcessTime = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unit with storage kind did not panic")
+			}
+		}()
+		NewUnit("bad", KindDisk, 1, false)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unit without throughput did not panic")
+			}
+		}()
+		NewUnit("bad", KindDSP, 0, false)
+	}()
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"disk zero capacity":  func() { NewDisk("d", 0, 1, 0) },
+		"disk zero bandwidth": func() { NewDisk("d", 1, 0, 0) },
+		"disk negative seek":  func() { NewDisk("d", 1, 1, -1) },
+		"jukebox no discs":    func() { NewJukebox("j", 0, 1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestManagerRegistry(t *testing.T) {
+	m := NewManager()
+	d := testDisk()
+	if err := m.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(d); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if got, ok := m.Get("disk0"); !ok || got != Device(d) {
+		t.Error("Get failed")
+	}
+	if _, ok := m.Get("nope"); ok {
+		t.Error("Get of missing device succeeded")
+	}
+	if err := m.Register(NewUnit("dac0", KindDAC, media.MBPerSecond, true)); err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.List(); len(ids) != 2 || ids[0] != "dac0" {
+		t.Errorf("List = %v", ids)
+	}
+	if ids := m.ListKind(KindDisk); len(ids) != 1 || ids[0] != "disk0" {
+		t.Errorf("ListKind = %v", ids)
+	}
+}
+
+func TestManagerExclusiveAcquisition(t *testing.T) {
+	m := NewManager()
+	fx := NewUnit("fx0", KindEffects, media.MBPerSecond, true)
+	disk := testDisk()
+	if err := m.Register(fx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(disk); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("fx0", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent per owner.
+	if err := m.Acquire("fx0", "alice"); err != nil {
+		t.Errorf("re-acquire by holder failed: %v", err)
+	}
+	if err := m.Acquire("fx0", "bob"); !errors.Is(err, ErrHeld) {
+		t.Errorf("contended acquire error = %v", err)
+	}
+	if h, ok := m.Holder("fx0"); !ok || h != "alice" {
+		t.Error("Holder wrong")
+	}
+	// Shared devices acquire without contention.
+	if err := m.Acquire("disk0", "bob"); err != nil {
+		t.Errorf("shared acquire failed: %v", err)
+	}
+	if err := m.Release("disk0", "anyone"); err != nil {
+		t.Errorf("shared release failed: %v", err)
+	}
+	// Wrong-owner release is an error.
+	if err := m.Release("fx0", "bob"); err == nil {
+		t.Error("release by non-holder accepted")
+	}
+	if err := m.Release("fx0", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("fx0", "bob"); err != nil {
+		t.Errorf("acquire after release failed: %v", err)
+	}
+	// Errors for unknown devices and empty owners.
+	if err := m.Acquire("nope", "x"); err == nil {
+		t.Error("acquire of missing device accepted")
+	}
+	if err := m.Release("nope", "x"); err == nil {
+		t.Error("release of missing device accepted")
+	}
+	if err := m.Acquire("fx0", ""); err == nil {
+		t.Error("empty owner accepted")
+	}
+	// Double release is an error.
+	if err := m.Release("fx0", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release("fx0", "bob"); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestManagerReleaseAll(t *testing.T) {
+	m := NewManager()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.Register(NewUnit(id, KindDAC, 1, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Acquire("a", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("b", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("c", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll("alice")
+	if _, held := m.Holder("a"); held {
+		t.Error("a still held")
+	}
+	if _, held := m.Holder("b"); held {
+		t.Error("b still held")
+	}
+	if h, held := m.Holder("c"); !held || h != "bob" {
+		t.Error("bob's device released")
+	}
+}

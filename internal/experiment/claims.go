@@ -1,0 +1,476 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/codec"
+	"avdb/internal/core"
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+	"avdb/internal/storage"
+)
+
+// C1Result measures §3.3 "database platform": placing the processing
+// device (here the video mixer) with the data halves the network traffic
+// of a two-source mix.
+type C1Result struct {
+	Frames      int
+	MixAtDB     int64 // wire bytes with the mixer at the database
+	MixAtClient int64 // wire bytes shipping both streams to the client
+	Factor      float64
+}
+
+// C1DevicePlacement mixes two stored clips and ships the result, with the
+// mixer at either end of the link.
+func C1DevicePlacement(frames int) (*C1Result, error) {
+	run := func(mixAtDB bool) (int64, error) {
+		loc := activity.AtApplication
+		if mixAtDB {
+			loc = activity.AtDatabase
+		}
+		link := netsim.NewLink("lan", media.GBPerSecond, avtime.Millisecond, 0, 23)
+		a, err := activities.NewVideoReader("a", activity.AtDatabase, media.TypeRawVideo30)
+		if err != nil {
+			return 0, err
+		}
+		if err := a.Bind(stdClip(frames, 7), "out"); err != nil {
+			return 0, err
+		}
+		b, err := activities.NewVideoReader("b", activity.AtDatabase, media.TypeRawVideo30)
+		if err != nil {
+			return 0, err
+		}
+		if err := b.Bind(stdClip(frames, 8), "out"); err != nil {
+			return 0, err
+		}
+		mixer, err := activities.NewVideoMixer("mix", loc, []float64{1, 1})
+		if err != nil {
+			return 0, err
+		}
+		window := activities.NewVideoWindow("view", activity.AtApplication, media.VideoQuality{}, avtime.Second)
+
+		g := activity.NewGraph("c1")
+		for _, act := range []activity.Activity{a, b, mixer, window} {
+			if err := g.Add(act); err != nil {
+				return 0, err
+			}
+		}
+		var conns []*netsim.Conn
+		connect := func(from activity.Activity, fp string, to activity.Activity, tp string) error {
+			if from.Location() == to.Location() {
+				_, err := g.Connect(from, fp, to, tp)
+				return err
+			}
+			nc, err := link.Connect(100 * media.MBPerSecond)
+			if err != nil {
+				return err
+			}
+			conns = append(conns, nc)
+			_, err = g.ConnectVia(from, fp, to, tp, nc)
+			return err
+		}
+		if err := connect(a, "out", mixer, "in0"); err != nil {
+			return 0, err
+		}
+		if err := connect(b, "out", mixer, "in1"); err != nil {
+			return 0, err
+		}
+		if err := connect(mixer, "out", window, "in"); err != nil {
+			return 0, err
+		}
+		if err := g.Start(); err != nil {
+			return 0, err
+		}
+		if _, err := g.Run(activity.RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+			return 0, err
+		}
+		var wire int64
+		for _, c := range conns {
+			wire += c.BytesCarried()
+			c.Close()
+		}
+		return wire, nil
+	}
+	atDB, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	atClient, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &C1Result{Frames: frames, MixAtDB: atDB, MixAtClient: atClient,
+		Factor: float64(atClient) / float64(atDB)}, nil
+}
+
+// String renders the comparison.
+func (r *C1Result) String() string {
+	rows := [][]string{
+		{"mixer at database (shared effects processor)", fmt.Sprint(r.MixAtDB)},
+		{"mixer at client (both streams shipped)", fmt.Sprint(r.MixAtClient)},
+	}
+	s := fmt.Sprintf("C1 database platform: two-source mix, %d frames\n\n", r.Frames)
+	s += table([]string{"configuration", "wire bytes"}, rows)
+	s += fmt.Sprintf("\nprocessing at the data cuts network traffic %.1fx\n", r.Factor)
+	return s
+}
+
+// C2Result measures §3.3 "scheduling": resource pre-allocation versus
+// best-effort admission of concurrent streams from one disk.
+type C2Result struct {
+	Requested  int
+	DiskRate   media.DataRate
+	StreamRate media.DataRate
+	// With admission control: streams admitted; every admitted stream
+	// holds its reservation and misses nothing.
+	Admitted       int
+	AdmittedMisses float64
+	// Without: all streams run, sharing the disk fairly, and every one
+	// of them misses deadlines once the disk oversubscribes.
+	BestEffortMisses float64
+	BestEffortWorst  avtime.WorldTime
+}
+
+// C2AdmissionControl requests n concurrent streams of a stored clip.
+func C2AdmissionControl(n, frames int) (*C2Result, error) {
+	dm := device.NewManager()
+	diskRate := 4 * media.MBPerSecond
+	disk := device.NewDisk("disk0", 1_000_000_000, diskRate, avtime.Millisecond)
+	if err := dm.Register(disk); err != nil {
+		return nil, err
+	}
+	st := storage.NewStore(dm)
+	clip := stdClip(frames, 9)
+	seg, err := st.Place(clip, "disk0")
+	if err != nil {
+		return nil, err
+	}
+	frameBytes := int64(clipW * clipH * clipDepth / 8)
+	// Each stream needs frameBytes every frame period.
+	streamRate := media.DataRate(frameBytes * clipFPS)
+	period := avtime.Second / clipFPS
+
+	res := &C2Result{Requested: n, DiskRate: diskRate, StreamRate: streamRate}
+
+	// With admission control: reserve before streaming.
+	var streams []*storage.Stream
+	for i := 0; i < n; i++ {
+		s, _, err := st.OpenStream(seg.ID(), streamRate)
+		if err != nil {
+			break
+		}
+		streams = append(streams, s)
+	}
+	res.Admitted = len(streams)
+	// Streams prefetch: frame f's read starts one period early.  With a
+	// held reservation a frame read takes exactly one period, so every
+	// frame is ready at its deadline.
+	mon := sched.NewMonitor(period / 2)
+	for _, s := range streams {
+		var backlog avtime.WorldTime
+		for f := 0; f < frames; f++ {
+			deadline := avtime.WorldTime(f+1) * period
+			rt, err := s.ReadTime(frameBytes)
+			if err != nil {
+				return nil, err
+			}
+			start := max(avtime.WorldTime(f)*period, backlog)
+			done := start + rt
+			backlog = done
+			mon.Record(deadline, done)
+		}
+		s.Close()
+	}
+	res.AdmittedMisses = mon.MissRate()
+
+	// Best effort: everyone streams, the disk's bandwidth is split n
+	// ways, reads queue behind one another.  Once the per-stream share
+	// drops below the consumption rate, the backlog grows without bound.
+	be := sched.NewMonitor(period / 2)
+	perStream := diskRate / media.DataRate(n)
+	readTime := avtime.WorldTime(frameBytes * int64(avtime.Second) / int64(perStream))
+	for i := 0; i < n; i++ {
+		var backlog avtime.WorldTime
+		for f := 0; f < frames; f++ {
+			deadline := avtime.WorldTime(f+1) * period
+			start := max(avtime.WorldTime(f)*period, backlog)
+			done := start + readTime
+			backlog = done
+			be.Record(deadline, done)
+		}
+	}
+	res.BestEffortMisses = be.MissRate()
+	res.BestEffortWorst = be.MaxLateness()
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *C2Result) String() string {
+	rows := [][]string{
+		{"with admission control", fmt.Sprintf("%d of %d", r.Admitted, r.Requested),
+			fmt.Sprintf("%.1f%%", 100*r.AdmittedMisses), "0s"},
+		{"best effort (no reservation)", fmt.Sprintf("%d of %d", r.Requested, r.Requested),
+			fmt.Sprintf("%.1f%%", 100*r.BestEffortMisses), r.BestEffortWorst.String()},
+	}
+	s := fmt.Sprintf("C2 scheduling: %d streams of %v from a %v disk\n\n", r.Requested, r.StreamRate, r.DiskRate)
+	s += table([]string{"policy", "streams running", "deadline misses", "worst lateness"}, rows)
+	return s
+}
+
+// C3Result measures §3.3 "client interface": with the asynchronous
+// stream interface the client overlaps its per-frame processing with the
+// transfer; with request/reply it waits for the whole value first.
+type C3Result struct {
+	Frames        int
+	WorkPerFrame  avtime.WorldTime
+	TransferEnd   avtime.WorldTime // when the last frame reaches the client
+	FirstFrame    avtime.WorldTime
+	AsyncDone     avtime.WorldTime // async client finishes processing
+	BlockingDone  avtime.WorldTime // blocking client finishes processing
+	Speedup       float64
+	FirstResultAt avtime.WorldTime // async client's first processed frame
+}
+
+// C3AsyncVsBlocking streams a clip over a modest link and accounts both
+// interaction styles over the same arrival times.
+func C3AsyncVsBlocking(frames int, workPerFrame avtime.WorldTime) (*C3Result, error) {
+	link := netsim.NewLink("lan", 2*media.MBPerSecond, 2*avtime.Millisecond, 0, 29)
+	nc, err := link.Connect(2 * media.MBPerSecond)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	reader, err := activities.NewVideoReader("src", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return nil, err
+	}
+	if err := reader.Bind(stdClip(frames, 10), "out"); err != nil {
+		return nil, err
+	}
+	window := activities.NewVideoWindow("win", activity.AtApplication, media.VideoQuality{}, avtime.Second)
+	g := activity.NewGraph("c3")
+	if err := g.Add(reader); err != nil {
+		return nil, err
+	}
+	if err := g.Add(window); err != nil {
+		return nil, err
+	}
+	if _, err := g.ConnectVia(reader, "out", window, "in", nc); err != nil {
+		return nil, err
+	}
+	if err := g.Start(); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(activity.RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+		return nil, err
+	}
+	arr := window.Arrivals()
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("experiment: no frames delivered")
+	}
+	res := &C3Result{Frames: frames, WorkPerFrame: workPerFrame}
+	res.FirstFrame = arr[0]
+	res.TransferEnd = arr[len(arr)-1]
+	// Async: per-frame work overlaps the stream; each frame is processed
+	// at max(arrival, previous completion) + work.
+	var done avtime.WorldTime
+	for i, a := range arr {
+		start := max(a, done)
+		done = start + workPerFrame
+		if i == 0 {
+			res.FirstResultAt = done
+		}
+	}
+	res.AsyncDone = done
+	// Blocking: receive the whole reply, then process.
+	res.BlockingDone = res.TransferEnd + avtime.WorldTime(len(arr))*workPerFrame
+	res.Speedup = float64(res.BlockingDone) / float64(res.AsyncDone)
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *C3Result) String() string {
+	rows := [][]string{
+		{"asynchronous stream interface", r.FirstResultAt.String(), r.AsyncDone.String()},
+		{"issue-request / receive-reply", r.TransferEnd.String(), r.BlockingDone.String()},
+	}
+	s := fmt.Sprintf("C3 client interface: %d frames, %v client work per frame\n\n", r.Frames, r.WorkPerFrame)
+	s += table([]string{"interaction style", "first result at", "all frames processed at"}, rows)
+	s += fmt.Sprintf("\nasync completes %.2fx sooner\n", r.Speedup)
+	return s
+}
+
+// C4Result measures §3.3 "data placement": mixing two values stored on
+// one device forces a copy first; client-visible placement on two devices
+// starts instantly.
+type C4Result struct {
+	ValueBytes  int64
+	SameDevice  avtime.WorldTime // startup: copy one value away, then stream
+	DualDevice  avtime.WorldTime // startup: two seeks
+	Interactive bool             // dual-device startup under 100ms
+	Factor      float64
+}
+
+// C4DataPlacement stores two clips and prices the startup latency of a
+// simultaneous two-stream mix under both placements.
+func C4DataPlacement(frames int) (*C4Result, error) {
+	build := func() (*storage.Store, *storage.Segment, *storage.Segment, error) {
+		dm := device.NewManager()
+		for _, id := range []string{"disk0", "disk1"} {
+			if err := dm.Register(device.NewDisk(id, 1_000_000_000, 4*media.MBPerSecond, 10*avtime.Millisecond)); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		st := storage.NewStore(dm)
+		a, err := st.Place(stdClip(frames, 12), "disk0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := st.Place(stdClip(frames, 13), "disk0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return st, a, b, nil
+	}
+
+	// A production-quality real-time stream reservation: more than half
+	// the 4 MB/s disk, so one stream fits and two do not.
+	streamRate := media.DataRate(5) * media.MBPerSecond / 2
+
+	// Same-device: the second reservation fails; the database must copy
+	// one value to disk1 first (the copy the paper warns about), then
+	// open both streams.
+	st, a, b, err := build()
+	if err != nil {
+		return nil, err
+	}
+	res := &C4Result{ValueBytes: a.Size()}
+	s1, startup1, err := st.OpenStream(a.ID(), streamRate)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := st.OpenStream(b.ID(), streamRate); err == nil {
+		return nil, fmt.Errorf("experiment: same-device double stream unexpectedly admitted")
+	}
+	moveTime, err := st.Move(b.ID(), "disk1")
+	if err != nil {
+		return nil, err
+	}
+	s2, startup2, err := st.OpenStream(b.ID(), streamRate)
+	if err != nil {
+		return nil, err
+	}
+	res.SameDevice = moveTime + max(startup1, startup2)
+	s1.Close()
+	s2.Close()
+
+	// Dual-device: the application placed the values apart up front.
+	st2, a2, _, err := build()
+	if err != nil {
+		return nil, err
+	}
+	b2, err := st2.Place(stdClip(frames, 13), "disk1")
+	if err != nil {
+		return nil, err
+	}
+	t1, st1up, err := st2.OpenStream(a2.ID(), streamRate)
+	if err != nil {
+		return nil, err
+	}
+	t2, st2up, err := st2.OpenStream(b2.ID(), streamRate)
+	if err != nil {
+		return nil, err
+	}
+	res.DualDevice = max(st1up, st2up)
+	t1.Close()
+	t2.Close()
+
+	res.Interactive = res.DualDevice < 100*avtime.Millisecond
+	res.Factor = float64(res.SameDevice) / float64(res.DualDevice)
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *C4Result) String() string {
+	rows := [][]string{
+		{"both values on one disk (copy first)", r.SameDevice.String()},
+		{"client-placed on two disks", r.DualDevice.String()},
+	}
+	s := fmt.Sprintf("C4 data placement: simultaneous mix of two %d-byte values\n\n", r.ValueBytes)
+	s += table([]string{"placement", "startup latency"}, rows)
+	s += fmt.Sprintf("\nexplicit placement starts %.0fx faster (interactive: %v)\n", r.Factor, r.Interactive)
+	return s
+}
+
+// C5Row is one quality-factor retrieval.
+type C5Row struct {
+	Stored         string
+	Requested      media.VideoQuality
+	Method         string
+	BytesProcessed int64
+	BytesOut       int64
+}
+
+// C5Result measures §3.3/§4.1 "data representation": serving quality
+// factors from a scalable encoding by layer dropping versus transcoding a
+// conventional encoding.
+type C5Result struct {
+	Rows []C5Row
+}
+
+// C5QualityFactors encodes one clip both ways and serves three quality
+// factors from each.
+func C5QualityFactors(frames int) (*C5Result, error) {
+	clip := stdClip(frames, 14)
+	scal, err := codec.ScalableCodec.Encode(clip)
+	if err != nil {
+		return nil, err
+	}
+	mpeg, err := codec.MPEG.Encode(clip)
+	if err != nil {
+		return nil, err
+	}
+	qualities := []media.VideoQuality{
+		{Width: clipW, Height: clipH, Depth: clipDepth, FPS: clipFPS},
+		{Width: clipW / 2, Height: clipH / 2, Depth: clipDepth, FPS: clipFPS},
+		{Width: clipW / 4, Height: clipH / 4, Depth: clipDepth, FPS: clipFPS},
+	}
+	res := &C5Result{}
+	for _, stored := range []struct {
+		name string
+		v    media.Value
+	}{
+		{"scalable", scal},
+		{"mpeg-sim", mpeg},
+	} {
+		for _, q := range qualities {
+			_, info, err := core.RetrieveAtQuality(stored.v, q)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, C5Row{
+				Stored: stored.name, Requested: q,
+				Method: info.Method, BytesProcessed: info.BytesProcessed, BytesOut: info.BytesOut,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *C5Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Stored, row.Requested.String(), row.Method,
+			fmt.Sprint(row.BytesProcessed), fmt.Sprint(row.BytesOut),
+		})
+	}
+	return "C5 data representation: serving quality factors\n\n" +
+		table([]string{"stored as", "requested", "method", "bytes touched", "bytes out"}, rows)
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/render"
+	"avdb/internal/sched"
+)
+
+// Fig4Row is one configuration of the virtual-world experiment.
+type Fig4Row struct {
+	Config         string // "render at client" or "render at database"
+	Frames         int
+	WireBytes      int64   // total bytes crossing the network
+	BytesPerFrame  float64 // wire bytes per presented frame
+	SustainableFPS float64 // frame rate one such stream can sustain on the link
+	NeedsClientGPU bool
+}
+
+// Fig4Result reproduces Fig. 4: the two alternative activity graphs for
+// the virtual-world application, measured on the same walkthrough.
+type Fig4Result struct {
+	ViewW, ViewH int
+	LinkRate     media.DataRate
+	Rows         []Fig4Row
+}
+
+// Fig4 runs the same user walkthrough under both activity graphs of the
+// figure and accounts the bytes each one moves across the network.
+func Fig4(steps, viewW, viewH int, linkRate media.DataRate) (*Fig4Result, error) {
+	res := &Fig4Result{ViewW: viewW, ViewH: viewH, LinkRate: linkRate}
+
+	for _, atClient := range []bool{true, false} {
+		wire, frames, err := fig4Run(steps, viewW, viewH, linkRate, atClient)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{
+			Frames:         frames,
+			WireBytes:      wire,
+			NeedsClientGPU: atClient,
+		}
+		if atClient {
+			row.Config = "render at client (Fig. 4 top)"
+		} else {
+			row.Config = "render at database (Fig. 4 bottom)"
+		}
+		if frames > 0 {
+			row.BytesPerFrame = float64(wire) / float64(frames)
+			row.SustainableFPS = float64(linkRate) / row.BytesPerFrame
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func fig4Run(steps, viewW, viewH int, linkRate media.DataRate, renderAtClient bool) (wireBytes int64, frames int, err error) {
+	world := render.Museum()
+	renderer := render.NewRenderer(world, viewW, viewH)
+	link := netsim.NewLink("wan", linkRate, 2*avtime.Millisecond, 0, 17)
+
+	loc := activity.AtApplication
+	if !renderAtClient {
+		loc = activity.AtDatabase
+	}
+
+	// The texture video lives at the database.
+	texSource, err := activities.NewVideoReader("videosrc", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := texSource.Bind(stdClip(steps, 6), "out"); err != nil {
+		return 0, 0, err
+	}
+	// The user drives the camera from the application.
+	move, err := activities.NewMoveSource("move", activity.AtApplication,
+		render.Camera{X: 8, Y: 6, Angle: 0}, activities.OrbitPolicy(world, 0.12, 0.04), steps)
+	if err != nil {
+		return 0, 0, err
+	}
+	ra := activities.NewRenderActivity("render", loc, renderer)
+	window := activities.NewVideoWindow("view", activity.AtApplication, media.VideoQuality{}, avtime.Second)
+
+	g := activity.NewGraph("fig4")
+	for _, a := range []activity.Activity{texSource, move, ra, window} {
+		if err := g.Add(a); err != nil {
+			return 0, 0, err
+		}
+	}
+	var conns []*netsim.Conn
+	connect := func(from activity.Activity, fp string, to activity.Activity, tp string, rate media.DataRate) error {
+		if from.Location() == to.Location() {
+			_, err := g.Connect(from, fp, to, tp)
+			return err
+		}
+		nc, err := link.Connect(rate)
+		if err != nil {
+			return err
+		}
+		conns = append(conns, nc)
+		_, err = g.ConnectVia(from, fp, to, tp, nc)
+		return err
+	}
+	// Both configurations share the wiring; locations decide which edges
+	// cross the network.
+	share := linkRate / 4
+	if err := connect(texSource, "out", ra, "video", share); err != nil {
+		return 0, 0, err
+	}
+	if err := connect(move, "out", ra, "move", share); err != nil {
+		return 0, 0, err
+	}
+	if err := connect(ra, "out", window, "in", share*2); err != nil {
+		return 0, 0, err
+	}
+	if err := g.Start(); err != nil {
+		return 0, 0, err
+	}
+	if _, err := g.Run(activity.RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+		return 0, 0, err
+	}
+	for _, c := range conns {
+		wireBytes += c.BytesCarried()
+		c.Close()
+	}
+	return wireBytes, window.FramesShown(), nil
+}
+
+// Fig4SweepRow is one point of the bandwidth sweep: which configuration
+// sustains full rate on a link of the given capacity.
+type Fig4SweepRow struct {
+	LinkRate   media.DataRate
+	ClientFPS  float64
+	DBFPS      float64
+	FullRateAt string // which configurations reach 30 fps
+}
+
+// Fig4Sweep measures both configurations across link capacities, locating
+// the crossover where database-side rendering stops sustaining full rate
+// and only GPU-equipped clients can keep the frame rate.
+func Fig4Sweep(steps, viewW, viewH int, rates []media.DataRate) ([]Fig4SweepRow, error) {
+	var out []Fig4SweepRow
+	for _, rate := range rates {
+		res, err := Fig4(steps, viewW, viewH, rate)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4SweepRow{LinkRate: rate,
+			ClientFPS: res.Rows[0].SustainableFPS, DBFPS: res.Rows[1].SustainableFPS}
+		switch {
+		case row.ClientFPS >= 30 && row.DBFPS >= 30:
+			row.FullRateAt = "both"
+		case row.ClientFPS >= 30:
+			row.FullRateAt = "client-render only"
+		case row.DBFPS >= 30:
+			row.FullRateAt = "db-render only"
+		default:
+			row.FullRateAt = "neither"
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SweepString renders a bandwidth sweep.
+func SweepString(rows []Fig4SweepRow) string {
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.LinkRate.String(),
+			fmt.Sprintf("%.1f", r.ClientFPS),
+			fmt.Sprintf("%.1f", r.DBFPS),
+			r.FullRateAt,
+		})
+	}
+	return "Fig. 4 sweep: sustainable frame rate by link capacity\n\n" +
+		table([]string{"link", "fps client-render", "fps db-render", "30fps sustained by"}, tbl)
+}
+
+// String renders the comparison.
+func (r *Fig4Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Config,
+			fmt.Sprint(row.Frames),
+			fmt.Sprint(row.WireBytes),
+			fmt.Sprintf("%.0f", row.BytesPerFrame),
+			fmt.Sprintf("%.1f", row.SustainableFPS),
+			fmt.Sprint(row.NeedsClientGPU),
+		})
+	}
+	s := fmt.Sprintf("Fig. 4: virtual world, %dx%d view over a %v link\n\n", r.ViewW, r.ViewH, r.LinkRate)
+	s += table([]string{"configuration", "frames", "wire bytes", "bytes/frame", "sustainable fps", "needs client 3D"}, rows)
+	return s
+}

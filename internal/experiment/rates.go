@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/codec"
+	"avdb/internal/media"
+)
+
+// RateRow is one media data type with its uncompressed data rate, the
+// numbers behind §1's "one second of high quality digital video can
+// occupy tens of Mbytes".
+type RateRow struct {
+	Name     string
+	Detail   string
+	Rate     media.DataRate
+	PerSec   string
+	Measured float64 // measured compression ratio, 0 for raw types
+}
+
+// RatesResult tabulates the data rates of the system's media data types
+// and the measured compression ratios of its codecs on program material.
+type RatesResult struct {
+	Rows []RateRow
+}
+
+// Rates computes the table.  Compression ratios are measured by encoding
+// a standard motion clip.
+func Rates() (*RatesResult, error) {
+	res := &RatesResult{}
+	add := func(name, detail string, r media.DataRate, ratio float64) {
+		res.Rows = append(res.Rows, RateRow{Name: name, Detail: detail, Rate: r, PerSec: r.String(), Measured: ratio})
+	}
+
+	// Raw media data types of §3.1.
+	ccir := media.VideoQuality{Width: 720, Height: 576, Depth: 16, FPS: 25}
+	add("CCIR 601 video", ccir.String(), ccir.DataRate(), 0)
+	hq := media.VideoQuality{Width: 640, Height: 480, Depth: 8, FPS: 30}
+	add("workstation video", hq.String(), hq.DataRate(), 0)
+	add("CD audio", "2ch 16-bit 44.1kHz", media.AudioQualityCD.DataRate(), 0)
+	add("FM audio", "2ch 16-bit 22.05kHz", media.AudioQualityFM.DataRate(), 0)
+	add("voice audio", "1ch 8-bit 8kHz", media.AudioQualityVoice.DataRate(), 0)
+
+	// Measured compression on the standard clip.
+	clip := stdClip(60, 15)
+	q := stdQuality()
+	for _, c := range []struct {
+		name  string
+		codec codec.VideoCodec
+	}{
+		{"video/jpeg-sim (intra)", codec.JPEG},
+		{"video/mpeg-sim (inter)", codec.MPEG},
+		{"video/dvi-sim (coarse)", codec.DVICodec},
+		{"video/scalable-sim", codec.ScalableCodec},
+	} {
+		e, err := c.codec.Encode(clip)
+		if err != nil {
+			return nil, err
+		}
+		rate := media.DataRate(float64(q.DataRate()) / e.CompressionRatio())
+		add(c.name, "encoded "+q.String(), rate, e.CompressionRatio())
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *RatesResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		ratio := "-"
+		if row.Measured > 0 {
+			ratio = fmt.Sprintf("%.1f:1", row.Measured)
+		}
+		rows = append(rows, []string{row.Name, row.Detail, row.PerSec, ratio})
+	}
+	s := "Media data rates (§3.1 examples; encoded rates measured on the standard clip)\n\n"
+	s += table([]string{"media data type", "parameters", "data rate", "compression"}, rows)
+	s += fmt.Sprintf("\none second of CCIR 601 video occupies %.1f MB — the storage pressure motivating AV databases\n",
+		float64(r.Rows[0].Rate)/1e6)
+	return s
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/codec"
+	"avdb/internal/media"
+)
+
+// Table1Row is one line of the paper's Table 1, derived by instantiating
+// the concrete class and introspecting its ports.
+type Table1Row struct {
+	Activity string
+	Kind     activity.ActivityKind
+	InTypes  []string
+	OutTypes []string
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 instantiates every video activity class of Table 1 and reads the
+// table's columns back from the framework: the kind comes from the port
+// directions, the data-type columns from the port types.
+func Table1() (*Table1Result, error) {
+	se, err := codec.NewIntraStreamEncoder(2)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := codec.NewVideoStreamDecoder(clipW, clipH, clipDepth, 2)
+	if err != nil {
+		return nil, err
+	}
+	gen := func(int) *media.Frame { return media.NewFrame(clipW, clipH, clipDepth) }
+
+	dig, err := activities.NewVideoDigitizer("video digitizer", activity.AtDatabase, gen, 1)
+	if err != nil {
+		return nil, err
+	}
+	rawReader, err := activities.NewVideoReader("video reader", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return nil, err
+	}
+	compReader, err := activities.NewVideoReader("video reader (compressed)", activity.AtDatabase, codec.TypeMPEGVideo)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := activities.NewVideoEncoder("video encoder", activity.AtDatabase, codec.TypeJPEGVideo, se)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := activities.NewVideoDecoder("video decoder", activity.AtDatabase, codec.TypeJPEGVideo, sd)
+	if err != nil {
+		return nil, err
+	}
+	tee, err := activities.NewVideoTee("video tee", activity.AtDatabase, 3)
+	if err != nil {
+		return nil, err
+	}
+	mixer, err := activities.NewVideoMixer("video mixer", activity.AtDatabase, []float64{1, 1})
+	if err != nil {
+		return nil, err
+	}
+	window := activities.NewVideoWindow("video window", activity.AtApplication, media.VideoQuality{}, 0)
+	writer, err := activities.NewVideoWriter("video writer", activity.AtDatabase, codec.TypeMPEGVideo)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	for _, a := range []activity.Activity{dig, rawReader, compReader, enc, dec, tee, mixer, window, writer} {
+		row := Table1Row{Activity: a.Name(), Kind: a.Kind()}
+		for _, p := range a.Ports() {
+			if p.Dir() == activity.In {
+				row.InTypes = appendUnique(row.InTypes, p.Type().Name)
+			} else {
+				row.OutTypes = appendUnique(row.OutTypes, p.Type().Name)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// String renders the reproduced table.
+func (r *Table1Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		in, out := strings.Join(row.InTypes, ", "), strings.Join(row.OutTypes, ", ")
+		if in == "" {
+			in = "-"
+		}
+		if out == "" {
+			out = "-"
+		}
+		rows = append(rows, []string{row.Activity, row.Kind.String(), in, out})
+	}
+	return fmt.Sprintf("Table 1: examples of video activities\n\n%s",
+		table([]string{"activity", "kind", "input port datatype", "output port datatype"}, rows))
+}

@@ -1,0 +1,70 @@
+package media
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signature is a compact content descriptor of a raster frame: a
+// normalized 16-bin luminance histogram.  It supports the "restricted
+// content-based retrieval ... by some form of similarity measure" that
+// §2 identifies as the practical level of image retrieval (REDI's
+// Query-by-Pictorial-Example).
+type Signature [16]float64
+
+// SignatureOf computes a frame's signature.
+func SignatureOf(f *Frame) Signature {
+	var s Signature
+	if len(f.Pix) == 0 {
+		return s
+	}
+	bpp := f.BytesPerPixel()
+	n := 0
+	for i := 0; i < len(f.Pix); i += bpp {
+		s[int(f.Pix[i])>>4]++
+		n++
+	}
+	for i := range s {
+		s[i] /= float64(n)
+	}
+	return s
+}
+
+// Distance reports the L1 distance between two signatures, in [0, 2].
+func (s Signature) Distance(o Signature) float64 {
+	var d float64
+	for i := range s {
+		d += math.Abs(s[i] - o[i])
+	}
+	return d
+}
+
+// VideoSignature summarizes a video value by averaging the signatures of
+// up to maxSamples evenly spaced frames.
+func VideoSignature(v *VideoValue, maxSamples int) (Signature, error) {
+	n := v.NumFrames()
+	if n == 0 {
+		return Signature{}, fmt.Errorf("media: signature of empty video")
+	}
+	if maxSamples <= 0 {
+		maxSamples = 8
+	}
+	if maxSamples > n {
+		maxSamples = n
+	}
+	var acc Signature
+	for k := 0; k < maxSamples; k++ {
+		f, err := v.Frame(k * n / maxSamples)
+		if err != nil {
+			return Signature{}, err
+		}
+		s := SignatureOf(f)
+		for i := range acc {
+			acc[i] += s[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(maxSamples)
+	}
+	return acc, nil
+}

@@ -1,0 +1,95 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureProperties(t *testing.T) {
+	f := NewFrame(16, 16, 8)
+	for i := range f.Pix {
+		f.Pix[i] = byte(i)
+	}
+	s := SignatureOf(f)
+	// Normalized: bins sum to 1.
+	var sum float64
+	for _, b := range s {
+		sum += b
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("bins sum to %v", sum)
+	}
+	// Self distance is zero; distance is symmetric and bounded by 2.
+	if s.Distance(s) != 0 {
+		t.Error("self distance not zero")
+	}
+	g := NewFrame(16, 16, 8)
+	for i := range g.Pix {
+		g.Pix[i] = 255
+	}
+	o := SignatureOf(g)
+	if d := s.Distance(o); d <= 0 || d > 2 {
+		t.Errorf("distance = %v", d)
+	}
+	if s.Distance(o) != o.Distance(s) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestSignatureDistanceTriangleProperty(t *testing.T) {
+	mk := func(seed byte) Signature {
+		f := NewFrame(8, 8, 8)
+		for i := range f.Pix {
+			f.Pix[i] = byte(int(seed)*7 + i*13)
+		}
+		return SignatureOf(f)
+	}
+	f := func(a, b, c byte) bool {
+		x, y, z := mk(a), mk(b), mk(c)
+		return x.Distance(z) <= x.Distance(y)+y.Distance(z)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVideoSignature(t *testing.T) {
+	v := NewVideoValue(TypeRawVideo30, 8, 8, 8)
+	for i := 0; i < 20; i++ {
+		f := NewFrame(8, 8, 8)
+		for p := range f.Pix {
+			f.Pix[p] = byte(i * 12)
+		}
+		if err := v.AppendFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := VideoSignature(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, b := range s {
+		sum += b
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("video signature sums to %v", sum)
+	}
+	// Sampling more frames than exist clamps.
+	if _, err := VideoSignature(v, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Default sample count.
+	if _, err := VideoSignature(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewVideoValue(TypeRawVideo30, 8, 8, 8)
+	if _, err := VideoSignature(empty, 4); err == nil {
+		t.Error("empty video signature accepted")
+	}
+	// 24-bit frames sample the first byte per pixel.
+	f24 := NewFrame(4, 4, 24)
+	if s := SignatureOf(f24); s[0] != 1 {
+		t.Errorf("24-bit black frame signature = %v", s)
+	}
+}

@@ -1,0 +1,220 @@
+// Package netsim models the network between an AV database and its
+// clients: links with finite capacity, propagation latency and bounded
+// jitter, and connections that reserve bandwidth on a link before data
+// flows.
+//
+// The model carries exactly the properties §3.3 needs: connection setup
+// fails when a link cannot sustain the requested rate alongside existing
+// reservations ("this statement would fail if insufficient network
+// bandwidth were available"), and delivery times jitter inside a bounded
+// window, which is what forces the resynchronization machinery of
+// composite activities.  Jitter is drawn from seeded PRNGs so experiments
+// are reproducible.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+)
+
+// ErrBandwidth is wrapped by connection-admission failures.
+var ErrBandwidth = fmt.Errorf("netsim: insufficient link bandwidth")
+
+// Link is one network path between the database and a client site.
+type Link struct {
+	id        string
+	capacity  media.DataRate
+	latency   avtime.WorldTime
+	maxJitter avtime.WorldTime
+
+	mu       sync.Mutex
+	reserved media.DataRate
+	seed     int64
+	nextConn int
+}
+
+// NewLink returns a link with the given capacity, propagation latency and
+// jitter bound.  The seed makes every connection's jitter sequence
+// deterministic.
+func NewLink(id string, capacity media.DataRate, latency, maxJitter avtime.WorldTime, seed int64) *Link {
+	if capacity <= 0 || latency < 0 || maxJitter < 0 {
+		panic(fmt.Sprintf("netsim: invalid link %q", id))
+	}
+	return &Link{id: id, capacity: capacity, latency: latency, maxJitter: maxJitter, seed: seed}
+}
+
+// ID returns the link's identifier.
+func (l *Link) ID() string { return l.id }
+
+// Capacity reports the link's total bandwidth.
+func (l *Link) Capacity() media.DataRate { return l.capacity }
+
+// Latency reports the propagation latency.
+func (l *Link) Latency() avtime.WorldTime { return l.latency }
+
+// MaxJitter reports the jitter bound.
+func (l *Link) MaxJitter() avtime.WorldTime { return l.maxJitter }
+
+// Reserved reports the bandwidth currently reserved by open connections.
+func (l *Link) Reserved() media.DataRate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reserved
+}
+
+// Free reports the unreserved bandwidth.
+func (l *Link) Free() media.DataRate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capacity - l.reserved
+}
+
+// Connect reserves rate on the link and returns an open connection.  It
+// fails when the link cannot sustain the rate alongside existing
+// reservations.
+func (l *Link) Connect(rate media.DataRate) (*Conn, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("netsim: connection rate must be positive, got %v", rate)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.reserved+rate > l.capacity {
+		return nil, fmt.Errorf("%w: link %q: %v requested, %v of %v free",
+			ErrBandwidth, l.id, rate, l.capacity-l.reserved, l.capacity)
+	}
+	l.reserved += rate
+	id := l.nextConn
+	l.nextConn++
+	return &Conn{
+		link: l,
+		id:   id,
+		rate: rate,
+		rng:  rand.New(rand.NewSource(l.seed + int64(id)*7919)),
+		open: true,
+	}, nil
+}
+
+// Conn is an open connection with a reserved data rate.
+type Conn struct {
+	link *Link
+	id   int
+	rate media.DataRate
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	open     bool
+	bytes    int64 // total bytes carried
+	messages int64 // total transfers
+}
+
+// Rate reports the connection's reserved rate.
+func (c *Conn) Rate() media.DataRate { return c.rate }
+
+// Link returns the underlying link.
+func (c *Conn) Link() *Link { return c.link }
+
+// IsOpen reports whether the connection is open.
+func (c *Conn) IsOpen() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.open
+}
+
+// Transfer accounts for moving the given bytes and reports the world time
+// the transfer occupies: propagation latency, serialization at the
+// reserved rate, and one jitter sample.
+func (c *Conn) Transfer(bytes int64) (avtime.WorldTime, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("netsim: negative transfer %d", bytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return 0, fmt.Errorf("netsim: transfer on closed connection")
+	}
+	c.bytes += bytes
+	c.messages++
+	t := c.link.latency + avtime.WorldTime(bytes*int64(avtime.Second)/int64(c.rate))
+	if c.link.maxJitter > 0 {
+		t += avtime.WorldTime(c.rng.Int63n(int64(c.link.maxJitter) + 1))
+	}
+	return t, nil
+}
+
+// BytesCarried reports the total bytes moved over the connection.
+func (c *Conn) BytesCarried() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Messages reports the number of transfers.
+func (c *Conn) Messages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages
+}
+
+// Close releases the connection's bandwidth.  Closing twice is a no-op.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if !c.open {
+		c.mu.Unlock()
+		return
+	}
+	c.open = false
+	c.mu.Unlock()
+	c.link.mu.Lock()
+	c.link.reserved -= c.rate
+	if c.link.reserved < 0 {
+		c.link.reserved = 0
+	}
+	c.link.mu.Unlock()
+}
+
+// Network is a registry of links.
+type Network struct {
+	mu    sync.Mutex
+	links map[string]*Link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{links: make(map[string]*Link)}
+}
+
+// AddLink registers a link; duplicate IDs are an error.
+func (n *Network) AddLink(l *Link) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.links[l.id]; dup {
+		return fmt.Errorf("netsim: duplicate link %q", l.id)
+	}
+	n.links[l.id] = l
+	return nil
+}
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id string) (*Link, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[id]
+	return l, ok
+}
+
+// Links returns all link IDs, sorted.
+func (n *Network) Links() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]string, 0, len(n.links))
+	for id := range n.links {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

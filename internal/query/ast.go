@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"avdb/internal/schema"
+)
+
+// Op is a predicate operator.
+type Op int
+
+// The predicate operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+)
+
+var opNames = [...]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpContains: "contains",
+}
+
+// String returns the operator's source form.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Expr is a boolean predicate expression over one object.
+type Expr interface {
+	fmt.Stringer
+	// check validates the expression against a class definition and
+	// resolves literal types.
+	check(c *schema.Class) error
+	// eval decides the predicate for one object.
+	eval(o *schema.Object) bool
+}
+
+// And is conjunction.
+type And struct{ L, R Expr }
+
+// String implements Expr.
+func (e *And) String() string { return fmt.Sprintf("(%v and %v)", e.L, e.R) }
+
+func (e *And) check(c *schema.Class) error {
+	if err := e.L.check(c); err != nil {
+		return err
+	}
+	return e.R.check(c)
+}
+
+func (e *And) eval(o *schema.Object) bool { return e.L.eval(o) && e.R.eval(o) }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// String implements Expr.
+func (e *Or) String() string { return fmt.Sprintf("(%v or %v)", e.L, e.R) }
+
+func (e *Or) check(c *schema.Class) error {
+	if err := e.L.check(c); err != nil {
+		return err
+	}
+	return e.R.check(c)
+}
+
+func (e *Or) eval(o *schema.Object) bool { return e.L.eval(o) || e.R.eval(o) }
+
+// Not is negation.
+type Not struct{ E Expr }
+
+// String implements Expr.
+func (e *Not) String() string { return fmt.Sprintf("(not %v)", e.E) }
+
+func (e *Not) check(c *schema.Class) error { return e.E.check(c) }
+
+func (e *Not) eval(o *schema.Object) bool { return !e.E.eval(o) }
+
+// Literal is an untyped literal as written; check resolves it to a Datum
+// against the attribute's declared kind.
+type Literal struct {
+	kind tokenKind // tokString, tokNumber, tokDate, or tokKeyword (true/false)
+	text string
+}
+
+// Pred is one comparison: attribute op literal.
+type Pred struct {
+	Attr string
+	Op   Op
+	Lit  Literal
+
+	datum schema.Datum // resolved by check
+}
+
+// String implements Expr.
+func (p *Pred) String() string {
+	return fmt.Sprintf("%s %v %s", p.Attr, p.Op, p.Lit.text)
+}
+
+func (p *Pred) check(c *schema.Class) error {
+	attr, ok := c.Attr(p.Attr)
+	if !ok {
+		return fmt.Errorf("query: class %s has no attribute %q", c.Name(), p.Attr)
+	}
+	d, err := resolveLiteral(p.Lit, attr.Kind)
+	if err != nil {
+		return err
+	}
+	p.datum = d
+	switch p.Op {
+	case OpEq, OpNe:
+		if attr.Kind == schema.KindMedia || attr.Kind == schema.KindTComp {
+			return fmt.Errorf("query: attribute %q of kind %v cannot be compared", p.Attr, attr.Kind)
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		switch attr.Kind {
+		case schema.KindString, schema.KindInt, schema.KindFloat, schema.KindDate:
+		default:
+			return fmt.Errorf("query: attribute %q of kind %v is not ordered", p.Attr, attr.Kind)
+		}
+	case OpContains:
+		if attr.Kind != schema.KindString {
+			return fmt.Errorf("query: contains needs a String attribute, %q is %v", p.Attr, attr.Kind)
+		}
+	}
+	return nil
+}
+
+func resolveLiteral(lit Literal, kind schema.AttrKind) (schema.Datum, error) {
+	switch kind {
+	case schema.KindString:
+		if lit.kind != tokString {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a string literal", lit.text)
+		}
+		return schema.String(lit.text), nil
+	case schema.KindInt:
+		if lit.kind != tokNumber {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a number", lit.text)
+		}
+		var v int64
+		if _, err := fmt.Sscanf(lit.text, "%d", &v); err != nil {
+			return schema.Datum{}, fmt.Errorf("query: %q is not an integer", lit.text)
+		}
+		return schema.Int(v), nil
+	case schema.KindFloat:
+		if lit.kind != tokNumber {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a number", lit.text)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(lit.text, "%g", &v); err != nil {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a float", lit.text)
+		}
+		return schema.Float(v), nil
+	case schema.KindBool:
+		switch lit.text {
+		case "true":
+			return schema.Bool(true), nil
+		case "false":
+			return schema.Bool(false), nil
+		}
+		return schema.Datum{}, fmt.Errorf("query: %q is not a boolean", lit.text)
+	case schema.KindDate:
+		text := lit.text
+		if lit.kind != tokDate && lit.kind != tokString {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a date", lit.text)
+		}
+		t, err := time.Parse("2006-01-02", text)
+		if err != nil {
+			return schema.Datum{}, fmt.Errorf("query: %q is not a date (want YYYY-MM-DD)", text)
+		}
+		return schema.Date(t), nil
+	}
+	return schema.Datum{}, fmt.Errorf("query: attribute kind %v has no literals", kind)
+}
+
+func (p *Pred) eval(o *schema.Object) bool {
+	d, ok := o.Get(p.Attr)
+	if !ok {
+		return false // unset attributes satisfy nothing
+	}
+	switch p.Op {
+	case OpEq:
+		return d.Equal(p.datum)
+	case OpNe:
+		return !d.Equal(p.datum)
+	case OpContains:
+		return d.Contains(p.datum.Str())
+	}
+	c, err := d.Compare(p.datum)
+	if err != nil {
+		return false
+	}
+	switch p.Op {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Query is a parsed select statement.
+type Query struct {
+	ClassName string
+	Where     Expr // nil selects the whole extent
+}
+
+// String renders the query back to source form.
+func (q *Query) String() string {
+	if q.Where == nil {
+		return fmt.Sprintf("select %s", q.ClassName)
+	}
+	return fmt.Sprintf("select %s where %v", q.ClassName, q.Where)
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"testing"
+
+	"avdb/internal/schema"
+)
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := newBTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.insert(schema.Int(int64(i%100000)), schema.OID(i+1))
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr := newBTree()
+	for i := 0; i < 100000; i++ {
+		tr.insert(schema.Int(int64(i)), schema.OID(i+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tr.lookup(schema.Int(int64(i % 100000))); len(got) != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkBTreeRangeScan(b *testing.B) {
+	tr := newBTree()
+	for i := 0; i < 100000; i++ {
+		tr.insert(schema.Int(int64(i)), schema.OID(i+1))
+	}
+	lo, hi := schema.Int(40000), schema.Int(41000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.ascend(&lo, &hi, true, false, func(schema.Datum, []schema.OID) bool {
+			n++
+			return true
+		})
+		if n != 1000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkQueryFullScan(b *testing.B) {
+	_, _, eng := benchDB(b, 10000)
+	q, err := Parse(`select SimpleNewscast where title = "60 Minutes"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryHashIndexed(b *testing.B) {
+	_, _, eng := benchDB(b, 10000)
+	if _, err := eng.CreateIndex("SimpleNewscast", "title", HashIndex); err != nil {
+		b.Fatal(err)
+	}
+	q, err := Parse(`select SimpleNewscast where title = "60 Minutes"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryBTreeRange(b *testing.B) {
+	_, _, eng := benchDB(b, 10000)
+	if _, err := eng.CreateIndex("SimpleNewscast", "runtimeMin", BTreeIndex); err != nil {
+		b.Fatal(err)
+	}
+	q, err := Parse(`select SimpleNewscast where runtimeMin < 25`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `select SimpleNewscast where (title = "60 Minutes" and whenBroadcast = 1993-04-19) or runtimeMin > 30`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDB mirrors newsDB for testing.B.
+func benchDB(b *testing.B, n int) (*schema.Schema, *schema.Store, *Engine) {
+	b.Helper()
+	s := schema.NewSchema()
+	cls, err := s.Define("SimpleNewscast", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "runtimeMin", Kind: schema.KindInt},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := schema.NewStore()
+	titles := []string{"60 Minutes", "Evening News", "Morning Report", "Tech Today"}
+	for i := 0; i < n; i++ {
+		o := store.NewObject(cls)
+		if err := o.Set("title", schema.String(titles[i%len(titles)])); err != nil {
+			b.Fatal(err)
+		}
+		if err := o.Set("runtimeMin", schema.Int(int64(20+i%40))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, store, NewEngine(s, store)
+}

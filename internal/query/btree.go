@@ -1,0 +1,359 @@
+package query
+
+import (
+	"fmt"
+
+	"avdb/internal/schema"
+)
+
+// btree is an in-memory B-tree keyed by schema.Datum, mapping each key to
+// the OIDs of objects holding that attribute value.  It backs ordered
+// (range-capable) indexes.  Minimum degree 16: nodes hold 15..31 items.
+const btreeDegree = 16
+
+type btreeItem struct {
+	key  schema.Datum
+	oids []schema.OID
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+type btree struct {
+	root *btreeNode
+	keys int // distinct keys
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{}}
+}
+
+// cmp orders two datums, panicking on incomparable kinds — the index
+// layer guarantees homogeneous keys.
+func cmp(a, b schema.Datum) int {
+	c, err := a.Compare(b)
+	if err != nil {
+		panic(fmt.Sprintf("query: heterogeneous index keys: %v", err))
+	}
+	return c
+}
+
+// find locates key in a node's items, returning the position and whether
+// it matched.
+func (n *btreeNode) find(key schema.Datum) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := cmp(n.items[mid].key, key); {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// insert adds oid under key.
+func (t *btree) insert(key schema.Datum, oid schema.OID) {
+	if len(t.root.items) == 2*btreeDegree-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	t.insertNonFull(t.root, key, oid)
+}
+
+func (t *btree) insertNonFull(n *btreeNode, key schema.Datum, oid schema.OID) {
+	i, found := n.find(key)
+	if found {
+		n.items[i].oids = append(n.items[i].oids, oid)
+		return
+	}
+	if n.leaf() {
+		n.items = append(n.items, btreeItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = btreeItem{key: key, oids: []schema.OID{oid}}
+		t.keys++
+		return
+	}
+	if len(n.children[i].items) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		switch c := cmp(key, n.items[i].key); {
+		case c == 0:
+			n.items[i].oids = append(n.items[i].oids, oid)
+			return
+		case c > 0:
+			i++
+		}
+	}
+	t.insertNonFull(n.children[i], key, oid)
+}
+
+// splitChild splits the full child at index i, hoisting its median item.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	median := child.items[mid]
+	right := &btreeNode{items: append([]btreeItem(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+	n.items = append(n.items, btreeItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// lookup returns the OIDs stored under key.
+func (t *btree) lookup(key schema.Datum) []schema.OID {
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return append([]schema.OID(nil), n.items[i].oids...)
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// ascend visits keys in [lo, hi] order; nil bounds are open.  Inclusivity
+// of each bound is controlled separately.
+func (t *btree) ascend(lo, hi *schema.Datum, loIncl, hiIncl bool, visit func(schema.Datum, []schema.OID) bool) {
+	t.root.ascend(lo, hi, loIncl, hiIncl, visit)
+}
+
+func (n *btreeNode) ascend(lo, hi *schema.Datum, loIncl, hiIncl bool, visit func(schema.Datum, []schema.OID) bool) bool {
+	// Prune everything strictly below the lower bound: items before the
+	// first key >= lo, and the subtrees hanging entirely under them.  The
+	// subtree at the boundary position may straddle lo only when lo is
+	// not itself a key here.
+	start, exact := 0, false
+	if lo != nil {
+		start, exact = n.find(*lo)
+	}
+	for i := start; i < len(n.items); i++ {
+		it := n.items[i]
+		if !n.leaf() && !(i == start && exact) {
+			if !n.children[i].ascend(lo, hi, loIncl, hiIncl, visit) {
+				return false
+			}
+		}
+		if lo != nil {
+			c := cmp(it.key, *lo)
+			if c < 0 || (c == 0 && !loIncl) {
+				continue
+			}
+		}
+		if hi != nil {
+			c := cmp(it.key, *hi)
+			if c > 0 || (c == 0 && !hiIncl) {
+				// Later items are larger still, but the right subtree of
+				// an earlier item could not contain smaller keys than
+				// this one, so stop the whole traversal.
+				return false
+			}
+		}
+		if !visit(it.key, it.oids) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.items)].ascend(lo, hi, loIncl, hiIncl, visit)
+	}
+	return true
+}
+
+// remove deletes oid from under key, removing the key once its OID list
+// empties.  It reports whether the oid was present.
+func (t *btree) remove(key schema.Datum, oid schema.OID) bool {
+	ok, emptied := t.root.removeOID(key, oid)
+	if !ok {
+		return false
+	}
+	if emptied {
+		t.root.deleteKey(key)
+		t.keys--
+		if len(t.root.items) == 0 && !t.root.leaf() {
+			t.root = t.root.children[0]
+		}
+	}
+	return true
+}
+
+// removeOID removes one oid from the key's list without restructuring.
+func (n *btreeNode) removeOID(key schema.Datum, oid schema.OID) (found, emptied bool) {
+	i, ok := n.find(key)
+	if ok {
+		oids := n.items[i].oids
+		for j, id := range oids {
+			if id == oid {
+				n.items[i].oids = append(oids[:j], oids[j+1:]...)
+				return true, len(n.items[i].oids) == 0
+			}
+		}
+		return false, false
+	}
+	if n.leaf() {
+		return false, false
+	}
+	return n.children[i].removeOID(key, oid)
+}
+
+// deleteKey removes a key using the standard B-tree deletion algorithm
+// (CLRS): ensure every descended-into child has at least degree items by
+// borrowing from or merging with siblings.
+func (n *btreeNode) deleteKey(key schema.Datum) {
+	i, found := n.find(key)
+	if found {
+		if n.leaf() {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return
+		}
+		switch {
+		case len(n.children[i].items) >= btreeDegree:
+			pred := n.children[i].maxItem()
+			n.items[i] = pred
+			n.children[i].deleteKey(pred.key)
+		case len(n.children[i+1].items) >= btreeDegree:
+			succ := n.children[i+1].minItem()
+			n.items[i] = succ
+			n.children[i+1].deleteKey(succ.key)
+		default:
+			n.mergeChildren(i)
+			n.children[i].deleteKey(key)
+		}
+		return
+	}
+	if n.leaf() {
+		return // key absent
+	}
+	if len(n.children[i].items) < btreeDegree {
+		i = n.fill(i)
+	}
+	n.children[i].deleteKey(key)
+}
+
+func (n *btreeNode) maxItem() btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *btreeNode) minItem() btreeItem {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fill ensures child i has at least degree items, returning the index of
+// the child to descend into (merging may shift it).
+func (n *btreeNode) fill(i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= btreeDegree:
+		// Borrow from the left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append([]btreeItem{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	case i < len(n.items) && len(n.children[i+1].items) >= btreeDegree:
+		// Borrow from the right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return i
+	case i < len(n.items):
+		n.mergeChildren(i)
+		return i
+	default:
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+}
+
+// mergeChildren folds child i+1 and the separator item into child i.
+func (n *btreeNode) mergeChildren(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// depth reports the tree height (1 for a lone root).
+func (t *btree) depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// checkInvariants verifies ordering and occupancy, for tests.
+func (t *btree) checkInvariants() error {
+	var prev *schema.Datum
+	ok := true
+	t.ascend(nil, nil, true, true, func(k schema.Datum, oids []schema.OID) bool {
+		if prev != nil && cmp(*prev, k) >= 0 {
+			ok = false
+			return false
+		}
+		if len(oids) == 0 {
+			ok = false
+			return false
+		}
+		kk := k
+		prev = &kk
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("query: btree ordering or occupancy violated")
+	}
+	return t.root.checkOccupancy(true)
+}
+
+func (n *btreeNode) checkOccupancy(isRoot bool) error {
+	if !isRoot && len(n.items) < btreeDegree-1 {
+		return fmt.Errorf("query: btree node underflow: %d items", len(n.items))
+	}
+	if len(n.items) > 2*btreeDegree-1 {
+		return fmt.Errorf("query: btree node overflow: %d items", len(n.items))
+	}
+	if !n.leaf() && len(n.children) != len(n.items)+1 {
+		return fmt.Errorf("query: btree child count %d for %d items", len(n.children), len(n.items))
+	}
+	if !n.leaf() {
+		for _, c := range n.children {
+			if err := c.checkOccupancy(false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"avdb/internal/schema"
+)
+
+// IndexKind selects an index implementation.
+type IndexKind int
+
+// The index kinds: hash indexes serve equality, B-tree indexes serve
+// equality and range predicates.
+const (
+	HashIndex IndexKind = iota
+	BTreeIndex
+)
+
+// String returns the kind's name.
+func (k IndexKind) String() string {
+	switch k {
+	case HashIndex:
+		return "hash"
+	case BTreeIndex:
+		return "btree"
+	}
+	return fmt.Sprintf("IndexKind(%d)", int(k))
+}
+
+// Index is an attribute index over a class extent.
+type Index struct {
+	class *schema.Class
+	attr  string
+	kind  IndexKind
+
+	mu   sync.RWMutex
+	hash map[string][]schema.OID
+	tree *btree
+}
+
+// hashKey encodes a datum as a map key, prefixed by kind so values of
+// different kinds never collide.
+func hashKey(d schema.Datum) string {
+	return strconv.Itoa(int(d.Kind())) + "|" + d.Format()
+}
+
+// Add indexes one object's value of the attribute.
+func (ix *Index) Add(oid schema.OID, d schema.Datum) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.kind == HashIndex {
+		k := hashKey(d)
+		ix.hash[k] = append(ix.hash[k], oid)
+		return
+	}
+	ix.tree.insert(d, oid)
+}
+
+// Remove drops one object's entry.
+func (ix *Index) Remove(oid schema.OID, d schema.Datum) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.kind == HashIndex {
+		k := hashKey(d)
+		oids := ix.hash[k]
+		for i, id := range oids {
+			if id == oid {
+				ix.hash[k] = append(oids[:i], oids[i+1:]...)
+				break
+			}
+		}
+		if len(ix.hash[k]) == 0 {
+			delete(ix.hash, k)
+		}
+		return
+	}
+	ix.tree.remove(d, oid)
+}
+
+// Lookup returns the OIDs with the exact value.
+func (ix *Index) Lookup(d schema.Datum) []schema.OID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.kind == HashIndex {
+		return append([]schema.OID(nil), ix.hash[hashKey(d)]...)
+	}
+	return ix.tree.lookup(d)
+}
+
+// Range returns the OIDs with values in the given bounds (nil = open),
+// in key order.  Only B-tree indexes support ranges.
+func (ix *Index) Range(lo, hi *schema.Datum, loIncl, hiIncl bool) ([]schema.OID, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.kind != BTreeIndex {
+		return nil, fmt.Errorf("query: %v index on %s.%s cannot serve ranges", ix.kind, ix.class.Name(), ix.attr)
+	}
+	var out []schema.OID
+	ix.tree.ascend(lo, hi, loIncl, hiIncl, func(_ schema.Datum, oids []schema.OID) bool {
+		out = append(out, oids...)
+		return true
+	})
+	return out, nil
+}
+
+// Engine executes queries over a schema and store, using any indexes the
+// administrator has created.
+type Engine struct {
+	schema *schema.Schema
+	store  *schema.Store
+
+	mu      sync.RWMutex
+	indexes map[string]*Index // "Class.attr"
+}
+
+// NewEngine returns a query engine.
+func NewEngine(s *schema.Schema, store *schema.Store) *Engine {
+	return &Engine{schema: s, store: store, indexes: make(map[string]*Index)}
+}
+
+func indexName(class, attr string) string { return class + "." + attr }
+
+// CreateIndex builds an index over the class's current extent (including
+// subclasses) and registers it for maintenance and planning.
+func (e *Engine) CreateIndex(className, attr string, kind IndexKind) (*Index, error) {
+	c, ok := e.schema.Class(className)
+	if !ok {
+		return nil, fmt.Errorf("query: no class %q", className)
+	}
+	def, ok := c.Attr(attr)
+	if !ok {
+		return nil, fmt.Errorf("query: class %s has no attribute %q", className, attr)
+	}
+	switch def.Kind {
+	case schema.KindString, schema.KindInt, schema.KindFloat, schema.KindDate, schema.KindBool:
+	default:
+		return nil, fmt.Errorf("query: cannot index %v attribute %q", def.Kind, attr)
+	}
+	if kind == BTreeIndex && def.Kind == schema.KindBool {
+		return nil, fmt.Errorf("query: boolean attributes take hash indexes only")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	name := indexName(className, attr)
+	if _, dup := e.indexes[name]; dup {
+		return nil, fmt.Errorf("query: index %s already exists", name)
+	}
+	ix := &Index{class: c, attr: attr, kind: kind}
+	if kind == HashIndex {
+		ix.hash = make(map[string][]schema.OID)
+	} else {
+		ix.tree = newBTree()
+	}
+	for _, oid := range e.store.OfClass(c, true) {
+		o, ok := e.store.Get(oid)
+		if !ok {
+			continue
+		}
+		if d, ok := o.Get(attr); ok {
+			ix.Add(oid, d)
+		}
+	}
+	e.indexes[name] = ix
+	return ix, nil
+}
+
+// Index returns a registered index.
+func (e *Engine) Index(className, attr string) (*Index, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ix, ok := e.indexes[indexName(className, attr)]
+	return ix, ok
+}
+
+// OnSet maintains indexes after an attribute assignment; old is the
+// previous value if there was one.
+func (e *Engine) OnSet(o *schema.Object, attr string, old *schema.Datum, d schema.Datum) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, ix := range e.indexes {
+		if ix.attr != attr || !o.Class().IsSubclassOf(ix.class) {
+			continue
+		}
+		if old != nil {
+			ix.Remove(o.OID(), *old)
+		}
+		ix.Add(o.OID(), d)
+	}
+}
+
+// OnDelete removes an object from every index.
+func (e *Engine) OnDelete(o *schema.Object) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, ix := range e.indexes {
+		if !o.Class().IsSubclassOf(ix.class) {
+			continue
+		}
+		if d, ok := o.Get(ix.attr); ok {
+			ix.Remove(o.OID(), d)
+		}
+	}
+}
+
+// Plan describes how a query will execute, for inspection and tests.
+type Plan struct {
+	Class     *schema.Class
+	Where     Expr
+	IndexUsed string // "Class.attr" or "" for a full scan
+	IndexPred *Pred  // the predicate served by the index
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	scan := "full scan"
+	if p.IndexUsed != "" {
+		scan = fmt.Sprintf("index scan on %s (%v)", p.IndexUsed, p.IndexPred)
+	}
+	if p.Where == nil {
+		return fmt.Sprintf("select %s: extent scan", p.Class.Name())
+	}
+	return fmt.Sprintf("select %s where %v: %s", p.Class.Name(), p.Where, scan)
+}
+
+// Prepare type-checks a query and picks an access path.
+func (e *Engine) Prepare(q *Query) (*Plan, error) {
+	c, ok := e.schema.Class(q.ClassName)
+	if !ok {
+		return nil, fmt.Errorf("query: no class %q", q.ClassName)
+	}
+	p := &Plan{Class: c, Where: q.Where}
+	if q.Where == nil {
+		return p, nil
+	}
+	if err := q.Where.check(c); err != nil {
+		return nil, err
+	}
+	// Use an index for one predicate of the top-level AND chain.
+	for _, pred := range andChain(q.Where) {
+		ix, ok := e.Index(c.Name(), pred.Attr)
+		if !ok {
+			continue
+		}
+		switch pred.Op {
+		case OpEq:
+			p.IndexUsed = indexName(c.Name(), pred.Attr)
+			p.IndexPred = pred
+			return p, nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if ix.kind == BTreeIndex {
+				p.IndexUsed = indexName(c.Name(), pred.Attr)
+				p.IndexPred = pred
+				return p, nil
+			}
+		}
+	}
+	return p, nil
+}
+
+// andChain collects the predicates reachable through top-level ANDs.
+func andChain(e Expr) []*Pred {
+	switch x := e.(type) {
+	case *Pred:
+		return []*Pred{x}
+	case *And:
+		return append(andChain(x.L), andChain(x.R)...)
+	}
+	return nil
+}
+
+// Run parses nothing: it executes an already-parsed query, returning
+// matching OIDs in ascending order.
+func (e *Engine) Run(q *Query) ([]schema.OID, error) {
+	plan, err := e.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(plan)
+}
+
+// RunString parses and executes a query string.
+func (e *Engine) RunString(src string) ([]schema.OID, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Execute runs a prepared plan.
+func (e *Engine) Execute(plan *Plan) ([]schema.OID, error) {
+	var candidates []schema.OID
+	if plan.IndexUsed != "" {
+		ix, ok := e.Index(plan.Class.Name(), plan.IndexPred.Attr)
+		if !ok {
+			return nil, fmt.Errorf("query: plan references missing index %s", plan.IndexUsed)
+		}
+		var err error
+		candidates, err = indexCandidates(ix, plan.IndexPred)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		candidates = e.store.OfClass(plan.Class, true)
+	}
+	var out []schema.OID
+	for _, oid := range candidates {
+		o, ok := e.store.Get(oid)
+		if !ok {
+			continue
+		}
+		if !o.Class().IsSubclassOf(plan.Class) {
+			continue
+		}
+		if plan.Where == nil || plan.Where.eval(o) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func indexCandidates(ix *Index, pred *Pred) ([]schema.OID, error) {
+	switch pred.Op {
+	case OpEq:
+		return ix.Lookup(pred.datum), nil
+	case OpLt:
+		return ix.Range(nil, &pred.datum, true, false)
+	case OpLe:
+		return ix.Range(nil, &pred.datum, true, true)
+	case OpGt:
+		return ix.Range(&pred.datum, nil, false, true)
+	case OpGe:
+		return ix.Range(&pred.datum, nil, true, true)
+	}
+	return nil, fmt.Errorf("query: operator %v cannot use an index", pred.Op)
+}

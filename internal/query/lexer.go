@@ -1,0 +1,147 @@
+// Package query implements the AV database's query interface: a small
+// declarative language in the style of the paper's pseudo-code —
+//
+//	select SimpleNewscast where (title = "60 Minutes" and
+//	                             whenBroadcast = 1993-04-19)
+//
+// — with a lexer, recursive-descent parser, type-checked evaluation over
+// the object store, and hash and B-tree attribute indexes the planner
+// uses for equality and range predicates.  Queries return object
+// references (OIDs), never media values: values are produced by binding
+// them to activities (§3.1).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDate
+	tokOp // = != < <= > >=
+	tokLParen
+	tokRParen
+	tokKeyword // select, where, and, or, not, contains, true, false
+)
+
+var keywords = map[string]bool{
+	"select": true, "where": true, "and": true, "or": true,
+	"not": true, "contains": true, "true": true, "false": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes a query string.  Dates appear as bare YYYY-MM-DD tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray '!' at offset %d", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			digitsAndDashes := 0
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == '-') {
+				if src[j] == '-' {
+					digitsAndDashes++
+				}
+				j++
+			}
+			text := src[i:j]
+			if digitsAndDashes == 2 && len(text) == 10 {
+				toks = append(toks, token{tokDate, text, i})
+			} else if digitsAndDashes > 0 {
+				return nil, fmt.Errorf("query: malformed literal %q at offset %d", text, i)
+			} else {
+				toks = append(toks, token{tokNumber, text, i})
+			}
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			if keywords[strings.ToLower(text)] {
+				toks = append(toks, token{tokKeyword, strings.ToLower(text), i})
+			} else {
+				toks = append(toks, token{tokIdent, text, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,170 @@
+package query
+
+import "fmt"
+
+// Parse compiles a query string into a Query.
+//
+// Grammar:
+//
+//	query  := 'select' IDENT [ 'where' expr ]
+//	expr   := andExpr ( 'or' andExpr )*
+//	andExpr:= unary ( 'and' unary )*
+//	unary  := 'not' unary | '(' expr ')' | pred
+//	pred   := IDENT ( '=' | '!=' | '<' | '<=' | '>' | '>=' | 'contains' ) literal
+//	literal:= STRING | NUMBER | DATE | 'true' | 'false'
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %v", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("query: expected %q, got %v", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	cls := p.next()
+	if cls.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected class name, got %v", cls)
+	}
+	q := &Query{ClassName: cls.text}
+	if p.peek().kind == tokKeyword && p.peek().text == "where" {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	return q, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "or" {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "and" {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "not":
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if tt := p.next(); tt.kind != tokRParen {
+			return nil, fmt.Errorf("query: expected ')', got %v", tt)
+		}
+		return e, nil
+	default:
+		return p.pred()
+	}
+}
+
+func (p *parser) pred() (Expr, error) {
+	attr := p.next()
+	if attr.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected attribute name, got %v", attr)
+	}
+	opTok := p.next()
+	var op Op
+	switch {
+	case opTok.kind == tokOp:
+		switch opTok.text {
+		case "=":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		}
+	case opTok.kind == tokKeyword && opTok.text == "contains":
+		op = OpContains
+	default:
+		return nil, fmt.Errorf("query: expected operator, got %v", opTok)
+	}
+	lit := p.next()
+	switch lit.kind {
+	case tokString, tokNumber, tokDate:
+	case tokKeyword:
+		if lit.text != "true" && lit.text != "false" {
+			return nil, fmt.Errorf("query: expected literal, got %v", lit)
+		}
+	default:
+		return nil, fmt.Errorf("query: expected literal, got %v", lit)
+	}
+	return &Pred{Attr: attr.text, Op: op, Lit: Literal{kind: lit.kind, text: lit.text}}, nil
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/media"
+)
+
+// Resources is a bundle of the finite system resources §3.3 names:
+// buffers, processor cycles and bus bandwidth.  Processor capacity is
+// expressed as a data-processing rate (bytes/s the CPU can move through
+// activity code), which is the unit everything else budgets in.
+type Resources struct {
+	Buffers int
+	CPU     media.DataRate
+	Bus     media.DataRate
+}
+
+// Add returns r + o componentwise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.Buffers + o.Buffers, r.CPU + o.CPU, r.Bus + o.Bus}
+}
+
+// Sub returns r - o componentwise.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.Buffers - o.Buffers, r.CPU - o.CPU, r.Bus - o.Bus}
+}
+
+// Fits reports whether r fits inside budget in every component.
+func (r Resources) Fits(budget Resources) bool {
+	return r.Buffers <= budget.Buffers && r.CPU <= budget.CPU && r.Bus <= budget.Bus
+}
+
+// IsZero reports whether no resources are requested.
+func (r Resources) IsZero() bool { return r == Resources{} }
+
+// nonNegative reports whether every component is >= 0.
+func (r Resources) nonNegative() bool {
+	return r.Buffers >= 0 && r.CPU >= 0 && r.Bus >= 0
+}
+
+// String formats the bundle.
+func (r Resources) String() string {
+	return fmt.Sprintf("{buffers:%d cpu:%v bus:%v}", r.Buffers, r.CPU, r.Bus)
+}
+
+// ErrAdmission is wrapped by reservation failures.
+var ErrAdmission = fmt.Errorf("sched: insufficient resources")
+
+// Admission is the database's resource pre-allocation authority.  Clients
+// reserve resources before starting activities; a request that does not
+// fit alongside existing grants fails immediately, which is the paper's
+// "in requesting a video source the application is allocating resources
+// within the database system.  If insufficient resources were available
+// this statement would fail."
+type Admission struct {
+	mu    sync.Mutex
+	total Resources
+	used  Resources
+}
+
+// NewAdmission returns an admission controller with the given budget.
+func NewAdmission(total Resources) *Admission {
+	if !total.nonNegative() {
+		panic(fmt.Sprintf("sched: negative admission budget %v", total))
+	}
+	return &Admission{total: total}
+}
+
+// Total reports the full budget.
+func (a *Admission) Total() Resources {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Used reports the currently granted resources.
+func (a *Admission) Used() Resources {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Free reports the remaining budget.
+func (a *Admission) Free() Resources {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total.Sub(a.used)
+}
+
+// Reserve grants r, failing if it does not fit the remaining budget.
+// The returned grant releases exactly once.
+func (a *Admission) Reserve(r Resources) (*Grant, error) {
+	if !r.nonNegative() {
+		return nil, fmt.Errorf("sched: negative reservation %v", r)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.used.Add(r).Fits(a.total) {
+		return nil, fmt.Errorf("%w: %v requested, %v of %v free", ErrAdmission, r, a.total.Sub(a.used), a.total)
+	}
+	a.used = a.used.Add(r)
+	return &Grant{a: a, r: r}, nil
+}
+
+// Grant is an outstanding resource reservation.
+type Grant struct {
+	mu       sync.Mutex
+	a        *Admission
+	r        Resources
+	released bool
+}
+
+// Resources reports what the grant holds.
+func (g *Grant) Resources() Resources { return g.r }
+
+// Release returns the grant's resources.  Releasing twice is a no-op.
+func (g *Grant) Release() {
+	g.mu.Lock()
+	if g.released {
+		g.mu.Unlock()
+		return
+	}
+	g.released = true
+	g.mu.Unlock()
+	g.a.mu.Lock()
+	g.a.used = g.a.used.Sub(g.r)
+	g.a.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+
+	"avdb/internal/avtime"
+)
+
+// Monitor accumulates the scheduled-versus-actual presentation times of
+// one stream and summarizes how well it held its deadlines.  It is the
+// measurement side of client-visible scheduling: the admission-control
+// experiments report deadline-miss rates from Monitors.
+type Monitor struct {
+	tolerance avtime.WorldTime
+
+	count   int
+	misses  int
+	maxLate avtime.WorldTime
+	sumLate avtime.WorldTime
+}
+
+// NewMonitor returns a monitor that counts a presentation as missed when
+// it runs later than tolerance past its scheduled time.
+func NewMonitor(tolerance avtime.WorldTime) *Monitor {
+	if tolerance < 0 {
+		panic("sched: negative deadline tolerance")
+	}
+	return &Monitor{tolerance: tolerance}
+}
+
+// Record notes one presentation.
+func (m *Monitor) Record(scheduled, actual avtime.WorldTime) {
+	m.count++
+	late := actual - scheduled
+	if late < 0 {
+		late = 0
+	}
+	m.sumLate += late
+	if late > m.maxLate {
+		m.maxLate = late
+	}
+	if late > m.tolerance {
+		m.misses++
+	}
+}
+
+// Count reports the number of presentations recorded.
+func (m *Monitor) Count() int { return m.count }
+
+// Misses reports how many presentations ran later than the tolerance.
+func (m *Monitor) Misses() int { return m.misses }
+
+// MissRate reports the fraction of missed deadlines.
+func (m *Monitor) MissRate() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return float64(m.misses) / float64(m.count)
+}
+
+// MaxLateness reports the worst observed lateness.
+func (m *Monitor) MaxLateness() avtime.WorldTime { return m.maxLate }
+
+// MeanLateness reports the average lateness.
+func (m *Monitor) MeanLateness() avtime.WorldTime {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sumLate / avtime.WorldTime(m.count)
+}
+
+// String summarizes the monitor.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("%d presented, %d missed (%.1f%%), max %v late",
+		m.count, m.misses, 100*m.MissRate(), m.maxLate)
+}

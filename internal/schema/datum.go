@@ -1,0 +1,169 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"avdb/internal/media"
+	"avdb/internal/temporal"
+)
+
+// Datum is one attribute value: a tagged union over the attribute kinds.
+// Scalar data participate in query predicates; media and tcomp data are
+// retrieved by reference and bound to activities.
+type Datum struct {
+	kind AttrKind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+	t    time.Time
+	m    media.Value
+	tc   *temporal.Composite
+}
+
+// String returns a string datum.
+func String(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// Int returns an integer datum.
+func Int(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// Float returns a float datum.
+func Float(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// Bool returns a boolean datum.
+func Bool(v bool) Datum { return Datum{kind: KindBool, b: v} }
+
+// Date returns a date datum.  Date attributes hold calendar dates — the
+// paper's "Date whenBroadcast" — so the value is truncated to its UTC
+// day.
+func Date(v time.Time) Datum {
+	y, m, d := v.UTC().Date()
+	return Datum{kind: KindDate, t: time.Date(y, m, d, 0, 0, 0, 0, time.UTC)}
+}
+
+// Media returns a media-valued datum.
+func Media(v media.Value) Datum { return Datum{kind: KindMedia, m: v} }
+
+// TComp returns a temporal-composite datum.
+func TComp(c *temporal.Composite) Datum { return Datum{kind: KindTComp, tc: c} }
+
+// Kind reports the datum's kind.
+func (d Datum) Kind() AttrKind { return d.kind }
+
+// Str returns the string value (zero unless KindString).
+func (d Datum) Str() string { return d.s }
+
+// IntVal returns the integer value (zero unless KindInt).
+func (d Datum) IntVal() int64 { return d.i }
+
+// FloatVal returns the float value (zero unless KindFloat).
+func (d Datum) FloatVal() float64 { return d.f }
+
+// BoolVal returns the boolean value (false unless KindBool).
+func (d Datum) BoolVal() bool { return d.b }
+
+// DateVal returns the date value (zero unless KindDate).
+func (d Datum) DateVal() time.Time { return d.t }
+
+// MediaVal returns the media value (nil unless KindMedia).
+func (d Datum) MediaVal() media.Value { return d.m }
+
+// TCompVal returns the temporal composite (nil unless KindTComp).
+func (d Datum) TCompVal() *temporal.Composite { return d.tc }
+
+// Equal reports whether two data are the same kind and value.  Media and
+// tcomp data compare by identity.
+func (d Datum) Equal(o Datum) bool {
+	if d.kind != o.kind {
+		return false
+	}
+	switch d.kind {
+	case KindString:
+		return d.s == o.s
+	case KindInt:
+		return d.i == o.i
+	case KindFloat:
+		return d.f == o.f
+	case KindBool:
+		return d.b == o.b
+	case KindDate:
+		return d.t.Equal(o.t)
+	case KindMedia:
+		return d.m == o.m
+	case KindTComp:
+		return d.tc == o.tc
+	}
+	return false
+}
+
+// Compare orders two data of the same comparable kind, returning -1, 0 or
+// +1.  Media, tcomp and bool data are not ordered.
+func (d Datum) Compare(o Datum) (int, error) {
+	if d.kind != o.kind {
+		return 0, fmt.Errorf("schema: comparing %v with %v", d.kind, o.kind)
+	}
+	switch d.kind {
+	case KindString:
+		return strings.Compare(d.s, o.s), nil
+	case KindInt:
+		switch {
+		case d.i < o.i:
+			return -1, nil
+		case d.i > o.i:
+			return 1, nil
+		}
+		return 0, nil
+	case KindFloat:
+		switch {
+		case d.f < o.f:
+			return -1, nil
+		case d.f > o.f:
+			return 1, nil
+		}
+		return 0, nil
+	case KindDate:
+		switch {
+		case d.t.Before(o.t):
+			return -1, nil
+		case d.t.After(o.t):
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("schema: %v data are not ordered", d.kind)
+}
+
+// Contains reports whether a string datum contains the given substring,
+// the data model's simple content predicate for keyword search.
+func (d Datum) Contains(sub string) bool {
+	return d.kind == KindString && strings.Contains(d.s, sub)
+}
+
+// Format renders the datum for display.
+func (d Datum) Format() string {
+	switch d.kind {
+	case KindString:
+		return fmt.Sprintf("%q", d.s)
+	case KindInt:
+		return fmt.Sprintf("%d", d.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", d.f)
+	case KindBool:
+		return fmt.Sprintf("%t", d.b)
+	case KindDate:
+		return d.t.Format("2006-01-02")
+	case KindMedia:
+		if d.m == nil {
+			return "<nil media>"
+		}
+		return fmt.Sprintf("<%s, %d elements>", d.m.Type().Name, d.m.NumElements())
+	case KindTComp:
+		if d.tc == nil {
+			return "<nil tcomp>"
+		}
+		return fmt.Sprintf("<tcomp %s, %d tracks>", d.tc.Name(), d.tc.NumTracks())
+	}
+	return "<invalid>"
+}

@@ -1,0 +1,253 @@
+// Package schema implements the object-oriented data model of the AV
+// database: class definitions with single inheritance, typed attributes
+// including media-valued attributes with quality factors and tcomp
+// (temporal composite) attributes, and an object store of class
+// instances.
+//
+// It is the machinery behind the paper's class examples:
+//
+//	class SimpleNewscast {
+//	    String     title
+//	    String     broadcastSource
+//	    String     keywords
+//	    Date       whenBroadcast
+//	    VideoValue videoTrack  quality 640x480x8@30
+//	}
+//
+//	class Newscast {
+//	    ...
+//	    tcomp clip {
+//	        VideoValue      videoTrack
+//	        AudioValue      englishTrack
+//	        AudioValue      frenchTrack
+//	        TextStreamValue subtitleTrack
+//	    }
+//	}
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"avdb/internal/media"
+)
+
+// AttrKind is the kind of an attribute.
+type AttrKind int
+
+// The attribute kinds of the data model.
+const (
+	KindString AttrKind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindDate
+	KindMedia // a media value of a declared media kind
+	KindTComp // a temporal composite with declared tracks
+)
+
+var attrKindNames = [...]string{
+	KindString: "String",
+	KindInt:    "Int",
+	KindFloat:  "Float",
+	KindBool:   "Bool",
+	KindDate:   "Date",
+	KindMedia:  "Media",
+	KindTComp:  "TComp",
+}
+
+// String returns the kind's name.
+func (k AttrKind) String() string {
+	if k < 0 || int(k) >= len(attrKindNames) {
+		return fmt.Sprintf("AttrKind(%d)", int(k))
+	}
+	return attrKindNames[k]
+}
+
+// TrackDef declares one track of a tcomp attribute.
+type TrackDef struct {
+	Name      string
+	MediaKind media.Kind
+}
+
+// AttrDef declares one attribute of a class.
+type AttrDef struct {
+	Name string
+	Kind AttrKind
+
+	// MediaKind constrains media attributes to video, audio, text or
+	// image values.
+	MediaKind media.Kind
+	// VideoQuality is the optional quality factor of a video attribute,
+	// the paper's "quality 640 x 480 x 8 @ 30".  Zero means unspecified:
+	// "if absent, stored values can be of varying quality."
+	VideoQuality media.VideoQuality
+	// AudioQuality is the optional quality factor of an audio attribute.
+	AudioQuality media.AudioQuality
+	// Tracks declares the component tracks of a tcomp attribute.
+	Tracks []TrackDef
+}
+
+// Class is a class definition with single inheritance.
+type Class struct {
+	name  string
+	super *Class
+	attrs []AttrDef
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Super returns the superclass, or nil.
+func (c *Class) Super() *Class { return c.super }
+
+// OwnAttrs returns the attributes declared by this class (not inherited).
+func (c *Class) OwnAttrs() []AttrDef { return append([]AttrDef(nil), c.attrs...) }
+
+// Attrs returns all attributes, inherited first, in declaration order.
+func (c *Class) Attrs() []AttrDef {
+	var out []AttrDef
+	if c.super != nil {
+		out = c.super.Attrs()
+	}
+	return append(out, c.attrs...)
+}
+
+// Attr looks an attribute up by name through the inheritance chain.
+func (c *Class) Attr(name string) (AttrDef, bool) {
+	for _, a := range c.attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	if c.super != nil {
+		return c.super.Attr(name)
+	}
+	return AttrDef{}, false
+}
+
+// IsSubclassOf reports whether c is o or a descendant of o.
+func (c *Class) IsSubclassOf(o *Class) bool {
+	for k := c; k != nil; k = k.super {
+		if k == o {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the class name.
+func (c *Class) String() string { return c.name }
+
+// Schema is a registry of class definitions.
+type Schema struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{classes: make(map[string]*Class)}
+}
+
+// Define registers a class.  superName may be empty for a root class.
+// Attribute names must be unique across the whole inheritance chain —
+// shadowing an inherited attribute is an error, not an override.
+func (s *Schema) Define(name, superName string, attrs []AttrDef) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty class name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.classes[name]; dup {
+		return nil, fmt.Errorf("schema: class %q already defined", name)
+	}
+	var super *Class
+	if superName != "" {
+		var ok bool
+		super, ok = s.classes[superName]
+		if !ok {
+			return nil, fmt.Errorf("schema: superclass %q of %q not defined", superName, name)
+		}
+	}
+	seen := make(map[string]bool)
+	if super != nil {
+		for _, a := range super.Attrs() {
+			seen[a.Name] = true
+		}
+	}
+	for _, a := range attrs {
+		if err := validateAttr(a); err != nil {
+			return nil, fmt.Errorf("schema: class %q: %w", name, err)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: class %q: duplicate attribute %q", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	c := &Class{name: name, super: super, attrs: append([]AttrDef(nil), attrs...)}
+	s.classes[name] = c
+	return c, nil
+}
+
+func validateAttr(a AttrDef) error {
+	if a.Name == "" {
+		return fmt.Errorf("attribute without a name")
+	}
+	switch a.Kind {
+	case KindString, KindInt, KindFloat, KindBool, KindDate:
+		if len(a.Tracks) != 0 {
+			return fmt.Errorf("attribute %q: tracks on a scalar attribute", a.Name)
+		}
+	case KindMedia:
+		if !a.VideoQuality.IsZero() {
+			if a.MediaKind != media.KindVideo {
+				return fmt.Errorf("attribute %q: video quality on %v attribute", a.Name, a.MediaKind)
+			}
+			if !a.VideoQuality.Valid() {
+				return fmt.Errorf("attribute %q: invalid quality %v", a.Name, a.VideoQuality)
+			}
+		}
+		if a.AudioQuality != media.AudioQualityUnspecified && a.MediaKind != media.KindAudio {
+			return fmt.Errorf("attribute %q: audio quality on %v attribute", a.Name, a.MediaKind)
+		}
+	case KindTComp:
+		if len(a.Tracks) == 0 {
+			return fmt.Errorf("attribute %q: tcomp without tracks", a.Name)
+		}
+		names := make(map[string]bool)
+		for _, tr := range a.Tracks {
+			if tr.Name == "" {
+				return fmt.Errorf("attribute %q: unnamed track", a.Name)
+			}
+			if names[tr.Name] {
+				return fmt.Errorf("attribute %q: duplicate track %q", a.Name, tr.Name)
+			}
+			names[tr.Name] = true
+		}
+	default:
+		return fmt.Errorf("attribute %q: unknown kind %v", a.Name, a.Kind)
+	}
+	return nil
+}
+
+// Class returns the class with the given name.
+func (s *Schema) Class(name string) (*Class, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.classes[name]
+	return c, ok
+}
+
+// Classes returns all class names, sorted.
+func (s *Schema) Classes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.classes))
+	for n := range s.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

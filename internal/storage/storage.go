@@ -1,0 +1,356 @@
+// Package storage is the AV database's media store: it places stored
+// media values (segments) on concrete storage devices, accounts space and
+// bandwidth, and prices every access in world time.
+//
+// Placement is deliberately client-visible (§3.3 "data placement"):
+// callers may pin a value to a named device — two values that must be
+// mixed in real time are placed on different disks — or let the store
+// choose.  Moving a value between devices is possible but costs the full
+// read+write time, the copy the paper warns "could be so time-consuming
+// as to destroy any sense of interactivity."
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"avdb/internal/avtime"
+	"avdb/internal/device"
+	"avdb/internal/media"
+)
+
+// SegID identifies a stored segment.
+type SegID uint64
+
+// String formats the segment ID.
+func (s SegID) String() string { return fmt.Sprintf("seg:%d", uint64(s)) }
+
+// Segment is one stored media value: the value plus its physical
+// placement.
+type Segment struct {
+	id     SegID
+	value  media.Value
+	devID  string
+	disc   int // jukebox disc, -1 on disks
+	size   int64
+	frames int
+}
+
+// ID returns the segment's identifier.
+func (s *Segment) ID() SegID { return s.id }
+
+// Value returns the stored media value.
+func (s *Segment) Value() media.Value { return s.value }
+
+// Device returns the ID of the device holding the segment.
+func (s *Segment) Device() string { return s.devID }
+
+// Disc returns the jukebox disc holding the segment, or -1.
+func (s *Segment) Disc() int { return s.disc }
+
+// Size returns the stored size in bytes.
+func (s *Segment) Size() int64 { return s.size }
+
+// String describes the segment.
+func (s *Segment) String() string {
+	if s.disc >= 0 {
+		return fmt.Sprintf("%v on %s disc %d (%d bytes)", s.id, s.devID, s.disc, s.size)
+	}
+	return fmt.Sprintf("%v on %s (%d bytes)", s.id, s.devID, s.size)
+}
+
+// Store places media values on devices.
+type Store struct {
+	devices *device.Manager
+
+	mu       sync.Mutex
+	nextID   SegID
+	segments map[SegID]*Segment
+}
+
+// NewStore returns a store over the given device manager.
+func NewStore(devices *device.Manager) *Store {
+	return &Store{devices: devices, nextID: 1, segments: make(map[SegID]*Segment)}
+}
+
+// Devices exposes the device manager.
+func (st *Store) Devices() *device.Manager { return st.devices }
+
+// Place stores a value on the named disk device.
+func (st *Store) Place(v media.Value, deviceID string) (*Segment, error) {
+	d, err := st.disk(deviceID)
+	if err != nil {
+		return nil, err
+	}
+	size := v.Size()
+	if err := d.Allocate(size); err != nil {
+		return nil, err
+	}
+	return st.register(v, deviceID, -1, size), nil
+}
+
+// PlaceOnDisc stores a value on one disc of a jukebox.
+func (st *Store) PlaceOnDisc(v media.Value, deviceID string, disc int) (*Segment, error) {
+	j, err := st.jukebox(deviceID)
+	if err != nil {
+		return nil, err
+	}
+	size := v.Size()
+	if err := j.Allocate(disc, size); err != nil {
+		return nil, err
+	}
+	return st.register(v, deviceID, disc, size), nil
+}
+
+// PlaceAuto stores a value on the disk with the most free space that can
+// also sustain the given streaming rate, returning an error when no disk
+// qualifies.
+func (st *Store) PlaceAuto(v media.Value, rate media.DataRate) (*Segment, error) {
+	var best *device.Disk
+	var bestFree int64
+	for _, id := range st.devices.ListKind(device.KindDisk) {
+		d, _ := st.devices.Get(id)
+		disk := d.(*device.Disk)
+		free := disk.Capacity() - disk.Used()
+		if free >= v.Size() && disk.FreeBandwidth() >= rate && free > bestFree {
+			best, bestFree = disk, free
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("storage: no disk with %d bytes free and %v bandwidth", v.Size(), rate)
+	}
+	return st.Place(v, best.ID())
+}
+
+func (st *Store) register(v media.Value, devID string, disc int, size int64) *Segment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := &Segment{id: st.nextID, value: v, devID: devID, disc: disc, size: size, frames: v.NumElements()}
+	st.nextID++
+	st.segments[s.id] = s
+	return s
+}
+
+// Get returns a segment by ID.
+func (st *Store) Get(id SegID) (*Segment, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.segments[id]
+	return s, ok
+}
+
+// Segments returns all segment IDs, sorted.
+func (st *Store) Segments() []SegID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]SegID, 0, len(st.segments))
+	for id := range st.segments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Delete removes a segment and frees its space.
+func (st *Store) Delete(id SegID) error {
+	st.mu.Lock()
+	s, ok := st.segments[id]
+	if ok {
+		delete(st.segments, id)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: no segment %v", id)
+	}
+	dev, found := st.devices.Get(s.devID)
+	if !found {
+		return fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+	}
+	switch d := dev.(type) {
+	case *device.Disk:
+		d.Free(s.size)
+	case *device.Jukebox:
+		d.Free(s.disc, s.size)
+	}
+	return nil
+}
+
+// Move relocates a segment to another disk, returning the world time the
+// copy occupies: a full read from the source plus a full write to the
+// destination.
+func (st *Store) Move(id SegID, toDevice string) (avtime.WorldTime, error) {
+	st.mu.Lock()
+	s, ok := st.segments[id]
+	st.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("storage: no segment %v", id)
+	}
+	dst, err := st.disk(toDevice)
+	if err != nil {
+		return 0, err
+	}
+	if s.devID == toDevice {
+		return 0, nil
+	}
+	var readTime avtime.WorldTime
+	srcDev, found := st.devices.Get(s.devID)
+	if !found {
+		return 0, fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+	}
+	switch d := srcDev.(type) {
+	case *device.Disk:
+		readTime = d.TransferTime(s.size, 1)
+	case *device.Jukebox:
+		t, err := d.AccessTime(s.disc, s.size)
+		if err != nil {
+			return 0, err
+		}
+		readTime = t
+	}
+	if err := dst.Allocate(s.size); err != nil {
+		return 0, err
+	}
+	writeTime := dst.TransferTime(s.size, 1)
+	// Free the old placement.
+	switch d := srcDev.(type) {
+	case *device.Disk:
+		d.Free(s.size)
+	case *device.Jukebox:
+		d.Free(s.disc, s.size)
+	}
+	st.mu.Lock()
+	s.devID, s.disc = toDevice, -1
+	st.mu.Unlock()
+	return readTime + writeTime, nil
+}
+
+func (st *Store) disk(deviceID string) (*device.Disk, error) {
+	dev, ok := st.devices.Get(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("storage: no device %q", deviceID)
+	}
+	d, ok := dev.(*device.Disk)
+	if !ok {
+		return nil, fmt.Errorf("storage: device %q is a %v, not a disk", deviceID, dev.DeviceKind())
+	}
+	return d, nil
+}
+
+func (st *Store) jukebox(deviceID string) (*device.Jukebox, error) {
+	dev, ok := st.devices.Get(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("storage: no device %q", deviceID)
+	}
+	j, ok := dev.(*device.Jukebox)
+	if !ok {
+		return nil, fmt.Errorf("storage: device %q is a %v, not a jukebox", deviceID, dev.DeviceKind())
+	}
+	return j, nil
+}
+
+// Stream is an open, bandwidth-reserved read stream over a segment.
+type Stream struct {
+	st   *Store
+	seg  *Segment
+	rate media.DataRate
+
+	mu      sync.Mutex
+	open    bool
+	startup avtime.WorldTime // positioning cost charged on the first read
+	bytes   int64
+}
+
+// OpenStream reserves rate on the segment's device and returns a stream.
+// It fails when the device cannot sustain the rate alongside existing
+// reservations — the storage half of admission control.  For jukebox
+// segments the returned startup time includes a disc swap if needed.
+func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.WorldTime, error) {
+	st.mu.Lock()
+	s, ok := st.segments[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: no segment %v", id)
+	}
+	if rate <= 0 {
+		return nil, 0, fmt.Errorf("storage: stream rate must be positive, got %v", rate)
+	}
+	dev, found := st.devices.Get(s.devID)
+	if !found {
+		return nil, 0, fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+	}
+	var startup avtime.WorldTime
+	switch d := dev.(type) {
+	case *device.Disk:
+		if err := d.Reserve(rate); err != nil {
+			return nil, 0, err
+		}
+		startup = d.SeekTime()
+	case *device.Jukebox:
+		if err := d.Reserve(rate); err != nil {
+			return nil, 0, err
+		}
+		t, err := d.AccessTime(s.disc, 0)
+		if err != nil {
+			d.Release(rate)
+			return nil, 0, err
+		}
+		startup = t
+	default:
+		return nil, 0, fmt.Errorf("storage: device %q cannot stream", s.devID)
+	}
+	return &Stream{st: st, seg: s, rate: rate, open: true, startup: startup}, startup, nil
+}
+
+// Segment returns the streamed segment.
+func (s *Stream) Segment() *Segment { return s.seg }
+
+// Rate returns the reserved rate.
+func (s *Stream) Rate() media.DataRate { return s.rate }
+
+// ReadTime accounts a read of the given bytes and reports the world time
+// it occupies at the reserved rate.  The stream's startup cost — a seek,
+// or a disc swap on the jukebox — is charged to the first read.
+func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative read %d", bytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return 0, fmt.Errorf("storage: read on closed stream")
+	}
+	s.bytes += bytes
+	t := avtime.WorldTime(bytes * int64(avtime.Second) / int64(s.rate))
+	t += s.startup
+	s.startup = 0
+	return t, nil
+}
+
+// BytesRead reports the bytes accounted so far.
+func (s *Stream) BytesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close releases the reserved bandwidth.  Closing twice is a no-op.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if !s.open {
+		s.mu.Unlock()
+		return
+	}
+	s.open = false
+	s.mu.Unlock()
+	dev, ok := s.st.devices.Get(s.seg.devID)
+	if !ok {
+		return
+	}
+	switch d := dev.(type) {
+	case *device.Disk:
+		d.Release(s.rate)
+	case *device.Jukebox:
+		d.Release(s.rate)
+	}
+}

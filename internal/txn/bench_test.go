@@ -1,0 +1,80 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkLockAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager()
+	for i := 0; i < b.N; i++ {
+		tx := m.Begin()
+		if err := tx.LockObject("Newscast", 1, ModeX); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockSharedParallel(b *testing.B) {
+	m := NewManager()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tx := m.Begin()
+			if err := tx.LockClass("Newscast", ModeS); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKVPutCommit(b *testing.B) {
+	m := NewManager()
+	kv := NewKV()
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := m.Begin()
+		if err := kv.Put(tx, fmt.Sprintf("k%d", i%1024), payload); err != nil {
+			b.Fatal(err)
+		}
+		kv.Commit(tx)
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	m := NewManager()
+	kv := NewKV()
+	for i := 0; i < 2000; i++ {
+		tx := m.Begin()
+		if err := kv.Put(tx, fmt.Sprintf("k%d", i%256), []byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if i%7 == 0 {
+			kv.Abort(tx)
+			tx.Abort()
+			continue
+		}
+		kv.Commit(tx)
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.Crash()
+		kv.Recover()
+	}
+	if kv.Len() == 0 {
+		b.Fatal("recovery produced nothing")
+	}
+}

@@ -1,0 +1,105 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"avdb/internal/media"
+	"avdb/internal/schema"
+)
+
+// Version is one entry in a media attribute's version chain.
+type Version struct {
+	Num   int // 1-based, ascending
+	Value media.Value
+	Note  string
+}
+
+// versionKey identifies a versioned attribute.
+type versionKey struct {
+	oid  schema.OID
+	attr string
+}
+
+// VersionStore keeps version chains for media-valued attributes, the
+// version control §2 calls for in multimedia databases: editing
+// applications check in successive cuts of a video value and can retrieve
+// or revert to any earlier version.
+type VersionStore struct {
+	mu     sync.RWMutex
+	chains map[versionKey][]Version
+}
+
+// NewVersionStore returns an empty version store.
+func NewVersionStore() *VersionStore {
+	return &VersionStore{chains: make(map[versionKey][]Version)}
+}
+
+// Checkin appends a new version of the attribute's value and returns its
+// version number.
+func (vs *VersionStore) Checkin(oid schema.OID, attr string, v media.Value, note string) (int, error) {
+	if v == nil {
+		return 0, fmt.Errorf("txn: nil value checked in for %v.%s", oid, attr)
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	k := versionKey{oid, attr}
+	num := len(vs.chains[k]) + 1
+	vs.chains[k] = append(vs.chains[k], Version{Num: num, Value: v, Note: note})
+	return num, nil
+}
+
+// Current returns the newest version.
+func (vs *VersionStore) Current(oid schema.OID, attr string) (Version, bool) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	chain := vs.chains[versionKey{oid, attr}]
+	if len(chain) == 0 {
+		return Version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// Get returns a specific version.
+func (vs *VersionStore) Get(oid schema.OID, attr string, num int) (Version, bool) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	chain := vs.chains[versionKey{oid, attr}]
+	if num < 1 || num > len(chain) {
+		return Version{}, false
+	}
+	return chain[num-1], true
+}
+
+// History returns the full chain, oldest first.
+func (vs *VersionStore) History(oid schema.OID, attr string) []Version {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return append([]Version(nil), vs.chains[versionKey{oid, attr}]...)
+}
+
+// Revert appends a copy of an older version as the new current version,
+// preserving history.
+func (vs *VersionStore) Revert(oid schema.OID, attr string, num int) (int, error) {
+	old, ok := vs.Get(oid, attr, num)
+	if !ok {
+		return 0, fmt.Errorf("txn: no version %d of %v.%s", num, oid, attr)
+	}
+	return vs.Checkin(oid, attr, old.Value, fmt.Sprintf("revert to v%d", num))
+}
+
+// VersionedAttrs lists the attributes of an object that have chains,
+// sorted.
+func (vs *VersionStore) VersionedAttrs(oid schema.OID) []string {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	var out []string
+	for k := range vs.chains {
+		if k.oid == oid {
+			out = append(out, k.attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
