@@ -68,8 +68,9 @@ type AudioQuality = media.AudioQuality
 // OID is an object reference, the result currency of queries.
 type OID = schema.OID
 
-// Open creates a database; register devices and links afterwards.
-func Open(cfg Config) *Database { return core.Open(cfg) }
+// Open creates a database; register devices and links afterwards.  It
+// fails on an invalid configuration (e.g. a negative resource budget).
+func Open(cfg Config) (*Database, error) { return core.Open(cfg) }
 
 // OpenDefault creates a database on a conventional simulated platform.
 func OpenDefault(name string, pc PlatformConfig) (*Database, error) {

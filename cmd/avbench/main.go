@@ -92,6 +92,9 @@ func runners() []runner {
 		{"c5", "C5 data representation: quality factors over scalable video", func(frames int) (fmt.Stringer, error) {
 			return experiment.C5QualityFactors(frames / 4)
 		}},
+		{"chaos", "fault injection: stream survival with recovery on vs off", func(frames int) (fmt.Stringer, error) {
+			return experiment.Chaos(frames, 7)
+		}},
 	}
 }
 

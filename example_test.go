@@ -88,7 +88,10 @@ func Example() {
 // ExampleRetrieveAtQuality serves a stored scalable value at a reduced
 // quality factor by ignoring encoded data.
 func ExampleRetrieveAtQuality() {
-	db := avdb.Open(avdb.Config{})
+	db, err := avdb.Open(avdb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	clip := synth.Video(media.TypeRawVideo30, synth.PatternMotion, 64, 48, 8, 30, 2)
 	stored, err := db.ImportVideo(clip, avdb.RepresentationHints{Scalable: true})
 	if err != nil {

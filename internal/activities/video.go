@@ -23,6 +23,7 @@ import (
 	"avdb/internal/activity"
 	"avdb/internal/avtime"
 	"avdb/internal/codec"
+	"avdb/internal/fault"
 	"avdb/internal/media"
 	"avdb/internal/sched"
 	"avdb/internal/storage"
@@ -43,6 +44,12 @@ type VideoReader struct {
 	started avtime.WorldTime
 	haveT0  bool
 	stream  *storage.Stream
+
+	retry     fault.RetryPolicy
+	haveRetry bool
+	dropOnErr bool
+	retries   int // extra attempts spent recovering transient faults
+	lost      int // frames abandoned to faults
 }
 
 // NewVideoReader returns a reader whose out port carries the given video
@@ -53,13 +60,69 @@ func NewVideoReader(name string, loc activity.Location, typ *media.Type) (*Video
 	}
 	r := &VideoReader{Base: activity.NewBase(name, "VideoReader", loc)}
 	r.AddPort("out", activity.Out, typ)
-	r.DeclareEvents(activity.EventEachFrame, activity.EventLastFrame)
+	r.DeclareEvents(activity.EventEachFrame, activity.EventLastFrame,
+		activity.EventFault, activity.EventDegraded)
 	return r, nil
 }
 
 // AttachStream ties frame delivery to a bandwidth-reserved storage
 // stream.
 func (r *VideoReader) AttachStream(s *storage.Stream) { r.stream = s }
+
+// SetRetry arms bounded retry for transient read faults.  Configure
+// before starting: the policy is read on the graph-runner goroutine.
+func (r *VideoReader) SetRetry(p fault.RetryPolicy) {
+	r.retry, r.haveRetry = p, true
+}
+
+// SetDropOnFault makes the reader sacrifice a frame it cannot read —
+// after retries are exhausted or on a non-retryable fault — instead of
+// killing the run: the frame is skipped, counted, and surfaced as an
+// EventFault.  Off by default: an unhandled read fault stops the
+// stream.
+func (r *VideoReader) SetDropOnFault(on bool) { r.dropOnErr = on }
+
+// Retries reports extra read attempts spent on transient faults.
+func (r *VideoReader) Retries() int { return r.retries }
+
+// FramesLost reports frames abandoned to faults.
+func (r *VideoReader) FramesLost() int { return r.lost }
+
+// Degrade rebinds the reader mid-stream to a cheaper representation of
+// its value — the delivery half of a quality renegotiation.  The
+// playback position is remapped proportionally so presentation resumes
+// at the equivalent moment of the new representation.  It must run on
+// the graph-runner goroutine (e.g. inside an event handler), where no
+// Tick is concurrently in flight.
+func (r *VideoReader) Degrade(v media.Value, port string) error {
+	old, ok := r.Binding(port)
+	if !ok {
+		return fmt.Errorf("activities: %s has no binding on %q to degrade", r.Name(), port)
+	}
+	if err := r.Bind(v, port); err != nil {
+		return err
+	}
+	if oldN, newN := old.NumElements(), v.NumElements(); oldN > 0 && oldN != newN {
+		r.pos = r.pos * newN / oldN
+		if r.pos > newN {
+			r.pos = newN
+		}
+	}
+	return nil
+}
+
+// readTime charges one frame's device read to the timeline, retrying
+// transient faults under the configured policy.
+func (r *VideoReader) readTime(bytes int64) (avtime.WorldTime, error) {
+	if !r.haveRetry {
+		return r.stream.ReadTime(bytes)
+	}
+	dt, attempts, err := r.retry.Do(func() (avtime.WorldTime, error) {
+		return r.stream.ReadTime(bytes)
+	})
+	r.retries += attempts - 1
+	return dt, err
+}
 
 // Tick implements activity.Activity.
 func (r *VideoReader) Tick(tc *activity.TickContext) error {
@@ -88,9 +151,20 @@ func (r *VideoReader) Tick(tc *activity.TickContext) error {
 	}
 	c := &activity.Chunk{Seq: r.pos, At: tc.Now, Arrived: tc.Now, Payload: el}
 	if r.stream != nil {
-		dt, err := r.stream.ReadTime(el.Size())
+		dt, err := r.readTime(el.Size())
 		if err != nil {
-			return err
+			if !r.dropOnErr {
+				return err
+			}
+			// Sacrifice the frame, keep the stream alive.
+			r.lost++
+			r.Emit(activity.EventInfo{Event: activity.EventFault, At: tc.Now, Seq: r.pos})
+			r.pos++
+			if r.pos >= v.NumElements() {
+				r.Emit(activity.EventInfo{Event: activity.EventLastFrame, At: tc.Now, Seq: r.pos - 1})
+				r.MarkDone()
+			}
+			return nil
 		}
 		c.Arrived += dt
 	}
@@ -344,11 +418,13 @@ type VideoWindow struct {
 	quality    media.VideoQuality
 	keepFrames bool
 
-	frames   int
-	bytes    int64
-	kept     []*media.Frame
-	arrivals []avtime.WorldTime
-	monitor  *sched.Monitor
+	frames    int
+	bytes     int64
+	corrupted int
+	kept      []*media.Frame
+	arrivals  []avtime.WorldTime
+	monitor   *sched.Monitor
+	stall     *sched.StallDetector
 }
 
 // NewVideoWindow returns a window expecting the given quality; a zero
@@ -359,11 +435,29 @@ func NewVideoWindow(name string, loc activity.Location, q media.VideoQuality, to
 		quality: q, monitor: sched.NewMonitor(tolerance),
 	}
 	w.AddPort("in", activity.In, media.TypeRawVideo30)
+	w.DeclareEvents(activity.EventFault, activity.EventStalled,
+		activity.EventRecovered, activity.EventDegraded)
 	return w
 }
 
 // KeepFrames retains delivered frames for test inspection.
 func (w *VideoWindow) KeepFrames() { w.keepFrames = true }
+
+// EnableStallDetection arms a detector that declares a stall after
+// threshold consecutive frames each later than the window's tolerance,
+// emitting EventStalled on the edge and EventRecovered when deadlines
+// are met again.  Configure before starting.
+func (w *VideoWindow) EnableStallDetection(tolerance avtime.WorldTime, threshold int) *sched.StallDetector {
+	d := sched.NewStallDetector(tolerance, threshold)
+	d.OnStall(func(at avtime.WorldTime) {
+		w.Emit(activity.EventInfo{Event: activity.EventStalled, Activity: w.Name(), At: at})
+	})
+	d.OnRecover(func(at avtime.WorldTime) {
+		w.Emit(activity.EventInfo{Event: activity.EventRecovered, Activity: w.Name(), At: at})
+	})
+	w.stall = d
+	return d
+}
 
 // Tick implements activity.Activity.
 func (w *VideoWindow) Tick(tc *activity.TickContext) error {
@@ -381,13 +475,23 @@ func (w *VideoWindow) Tick(tc *activity.TickContext) error {
 	}
 	w.frames++
 	w.bytes += f.Size()
+	if in.Corrupted {
+		w.corrupted++
+		w.Emit(activity.EventInfo{Event: activity.EventFault, Activity: w.Name(), At: in.Arrived, Seq: in.Seq})
+	}
 	w.monitor.Record(in.At, in.Arrived)
+	if w.stall != nil {
+		w.stall.Record(in.At, in.Arrived)
+	}
 	w.arrivals = append(w.arrivals, in.Arrived)
 	if w.keepFrames {
 		w.kept = append(w.kept, f)
 	}
 	return nil
 }
+
+// CorruptedFrames reports frames that arrived with damaged payloads.
+func (w *VideoWindow) CorruptedFrames() int { return w.corrupted }
 
 // FramesShown reports the number of frames presented.
 func (w *VideoWindow) FramesShown() int { return w.frames }

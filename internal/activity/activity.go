@@ -129,6 +129,24 @@ const (
 	EventLastFrame Event = "LAST_FRAME"
 )
 
+// Fault and degradation events — the asynchronous surface of the
+// robustness machinery.  Activities that participate in fault handling
+// declare the subset they emit; clients Catch them like any other
+// event ("perhaps being informed when the transfer is complete", §3.3,
+// extended to being informed when it could not complete).
+const (
+	// EventFault reports a fault the stream absorbed: a failed or
+	// dropped transfer, an exhausted retry, a corrupted chunk.
+	EventFault Event = "FAULT"
+	// EventStalled reports sustained deadline misses on a sink.
+	EventStalled Event = "STALLED"
+	// EventRecovered reports a stalled sink meeting deadlines again.
+	EventRecovered Event = "RECOVERED"
+	// EventDegraded reports a quality renegotiation: the stream now
+	// carries a cheaper representation of the same value.
+	EventDegraded Event = "DEGRADED"
+)
+
 // EventInfo accompanies an event delivery.
 type EventInfo struct {
 	Event    Event
@@ -173,11 +191,12 @@ func (s State) String() string {
 // frame, an audio block, a text cue) with its scheduled presentation time
 // and the accumulated actual delivery time.
 type Chunk struct {
-	Seq     int              // element sequence number in the stream
-	At      avtime.WorldTime // scheduled presentation time
-	Arrived avtime.WorldTime // actual time after accumulated latencies
-	Track   string           // track label inside composites, else ""
-	Payload media.Element
+	Seq       int              // element sequence number in the stream
+	At        avtime.WorldTime // scheduled presentation time
+	Arrived   avtime.WorldTime // actual time after accumulated latencies
+	Track     string           // track label inside composites, else ""
+	Corrupted bool             // payload damaged in flight by a fault
+	Payload   media.Element
 }
 
 // Size reports the payload size in bytes (zero for empty chunks).

@@ -330,11 +330,16 @@ func (c *Composite) Tick(tc *TickContext) error {
 			}
 			if srcOuts := outputs[conn.from.Name()]; srcOuts != nil {
 				if chunk := srcOuts[conn.fromPort.Name()]; chunk != nil {
-					delivered, err := conn.deliver(chunk)
-					if err != nil {
-						return err
+					oc := conn.deliver(chunk)
+					if oc.err != nil {
+						return oc.err
 					}
-					ctx.SetIn(conn.toPort.Name(), delivered)
+					if oc.chunk == nil {
+						// Lost or absorbed in flight inside the composite.
+						emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: tc.Now, Seq: chunk.Seq})
+						continue
+					}
+					ctx.SetIn(conn.toPort.Name(), oc.chunk)
 				}
 			}
 		}

@@ -21,9 +21,45 @@ type Connection struct {
 	toPort   *Port
 	net      *netsim.Conn
 
-	mu     sync.Mutex
-	bytes  int64
-	chunks int64
+	mu        sync.Mutex
+	failSoft  bool
+	bytes     int64
+	chunks    int64
+	dropped   int64
+	corrupted int64
+	failures  int64
+}
+
+// SetFailSoft chooses the connection's transfer-failure policy.  A
+// fail-soft connection absorbs failed transfers — the chunk is lost,
+// the failure is counted and surfaced as an EventFault on the receiving
+// activity, and the stream continues.  A fail-hard connection (the
+// default) aborts the run on the first failed transfer.
+func (c *Connection) SetFailSoft(on bool) {
+	c.mu.Lock()
+	c.failSoft = on
+	c.mu.Unlock()
+}
+
+// Dropped reports chunks lost in flight by injected faults.
+func (c *Connection) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// CorruptedCount reports chunks delivered with damaged payloads.
+func (c *Connection) CorruptedCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupted
+}
+
+// Failures reports transfers that failed outright (link down, closed).
+func (c *Connection) Failures() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
 }
 
 // From returns the upstream activity and port.
@@ -54,23 +90,52 @@ func (c *Connection) String() string {
 	return fmt.Sprintf("%s -> %s", c.fromPort, c.toPort)
 }
 
+// outcome describes how one delivery attempt went.
+type outcome struct {
+	chunk     *Chunk // nil when nothing arrived
+	dropped   bool   // lost in flight
+	failed    bool   // transfer failed (fail-soft absorbed it)
+	corrupted bool   // arrived damaged
+	err       error  // fatal (fail-hard) failure
+}
+
 // deliver moves a chunk across the connection, returning the copy that
-// arrives downstream with transfer latency applied.
-func (c *Connection) deliver(in *Chunk) (*Chunk, error) {
+// arrives downstream with transfer latency applied — or the fault that
+// kept it from arriving.
+func (c *Connection) deliver(in *Chunk) outcome {
 	out := *in
 	if c.net != nil {
-		dt, err := c.net.Transfer(in.Size())
+		d, err := c.net.TransferChunk(in.Size())
 		if err != nil {
-			return nil, fmt.Errorf("activity: %v: %w", c, err)
+			c.mu.Lock()
+			c.failures++
+			soft := c.failSoft
+			c.mu.Unlock()
+			if soft {
+				return outcome{failed: true}
+			}
+			return outcome{err: fmt.Errorf("activity: %v: %w", c, err)}
 		}
-		out.Arrived += dt
-		propagateExtra(&out, dt)
+		if d.Dropped {
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+			return outcome{dropped: true}
+		}
+		if d.Corrupted {
+			out.Corrupted = true
+		}
+		out.Arrived += d.Time
+		propagateExtra(&out, d.Time)
 	}
 	c.mu.Lock()
 	c.bytes += in.Size()
 	c.chunks++
+	if out.Corrupted {
+		c.corrupted++
+	}
 	c.mu.Unlock()
-	return &out, nil
+	return outcome{chunk: &out, corrupted: out.Corrupted}
 }
 
 // Graph is an activity graph: the unit of flow composition.  Nodes are
@@ -240,6 +305,11 @@ type RunStats struct {
 	Elapsed    avtime.WorldTime // world time the run spanned
 	Chunks     int64            // chunks delivered over connections
 	BytesMoved int64            // payload bytes delivered over connections
+
+	// Fault accounting.
+	ChunksDropped    int64 // chunks lost in flight
+	ChunksCorrupted  int64 // chunks delivered with damaged payloads
+	TransferFailures int64 // failed transfers absorbed by fail-soft connections
 }
 
 // Run executes the graph until every source has exhausted its stream (or
@@ -288,13 +358,29 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 				if src == nil {
 					continue
 				}
-				delivered, err := conn.deliver(src)
-				if err != nil {
-					return stats, err
+				oc := conn.deliver(src)
+				if oc.err != nil {
+					return stats, oc.err
 				}
-				tc.SetIn(conn.toPort.Name(), delivered)
+				if oc.chunk == nil {
+					// Lost in flight or absorbed by a fail-soft connection:
+					// nothing arrives this tick; the receiver sees the gap and
+					// the client hears about it.
+					if oc.dropped {
+						stats.ChunksDropped++
+					}
+					if oc.failed {
+						stats.TransferFailures++
+					}
+					emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: now, Seq: src.Seq})
+					continue
+				}
+				if oc.corrupted {
+					stats.ChunksCorrupted++
+				}
+				tc.SetIn(conn.toPort.Name(), oc.chunk)
 				stats.Chunks++
-				stats.BytesMoved += delivered.Size()
+				stats.BytesMoved += oc.chunk.Size()
 			}
 			if err := node.Tick(tc); err != nil {
 				return stats, fmt.Errorf("activity: %s at tick %d: %w", node.Name(), tick, err)
@@ -338,6 +424,21 @@ func (g *Graph) sourcesFinished() bool {
 		}
 	}
 	return true
+}
+
+// eventEmitter is satisfied by *Base and therefore by every concrete
+// activity.
+type eventEmitter interface {
+	Emit(EventInfo)
+}
+
+// emitFault surfaces a fault on the receiving activity's event
+// interface; activities that have not declared EventFault simply have
+// no handlers and the emit is a no-op.
+func emitFault(a Activity, info EventInfo) {
+	if em, ok := a.(eventEmitter); ok {
+		em.Emit(info)
+	}
 }
 
 // latencySampler is satisfied by *Base and therefore by every concrete

@@ -28,6 +28,18 @@ import (
 	"avdb/internal/txn"
 )
 
+// Sentinel errors for the core layer.  Lower layers wrap their own
+// (device.ErrDeviceFailed, netsim.ErrLinkDown, storage.ErrNoPlacement,
+// …); everything composes with errors.Is through %w chains.
+var (
+	// ErrNoObject is wrapped by operations on unknown object references.
+	ErrNoObject = fmt.Errorf("core: no such object")
+	// ErrNoClass is wrapped by operations naming an undefined class.
+	ErrNoClass = fmt.Errorf("core: no such class")
+	// ErrSessionClosed is wrapped by operations on a closed session.
+	ErrSessionClosed = fmt.Errorf("core: session closed")
+)
+
 // Config parameterizes a database instance.
 type Config struct {
 	Name string
@@ -59,10 +71,15 @@ type Database struct {
 }
 
 // Open creates a database.  Devices and network links are registered
-// afterwards through Devices() and Network().
-func Open(cfg Config) *Database {
+// afterwards through Devices() and Network().  It fails on an invalid
+// configuration, such as a negative resource budget.
+func Open(cfg Config) (*Database, error) {
 	if cfg.Name == "" {
 		cfg.Name = "avdb"
+	}
+	admission, err := sched.NewAdmission(cfg.Resources)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %q: %w", cfg.Name, err)
 	}
 	devices := device.NewManager()
 	db := &Database{
@@ -74,14 +91,14 @@ func Open(cfg Config) *Database {
 		network:   netsim.NewNetwork(),
 		txns:      txn.NewManager(),
 		versions:  txn.NewVersionStore(),
-		admission: sched.NewAdmission(cfg.Resources),
+		admission: admission,
 		kv:        txn.NewKV(),
 		clock:     sched.NewVirtualClock(0),
 		links:     newLinkStore(),
 		segments:  make(map[string]storage.SegID),
 	}
 	db.engine = query.NewEngine(db.schema, db.objects)
-	return db
+	return db, nil
 }
 
 // Name returns the database's name.
@@ -124,7 +141,7 @@ func (db *Database) CreateIndex(className, attr string, kind query.IndexKind) er
 func (db *Database) NewObject(className string) (*schema.Object, error) {
 	c, ok := db.schema.Class(className)
 	if !ok {
-		return nil, fmt.Errorf("core: no class %q", className)
+		return nil, fmt.Errorf("%w: %q", ErrNoClass, className)
 	}
 	tx := db.txns.Begin()
 	defer tx.Abort()
@@ -144,7 +161,7 @@ func (db *Database) NewObject(className string) (*schema.Object, error) {
 func (db *Database) SetAttr(oid schema.OID, attr string, d schema.Datum) error {
 	o, ok := db.objects.Get(oid)
 	if !ok {
-		return fmt.Errorf("core: no object %v", oid)
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
 	}
 	tx := db.txns.Begin()
 	defer tx.Abort()
@@ -176,7 +193,7 @@ func (db *Database) SetAttr(oid schema.OID, attr string, d schema.Datum) error {
 func (db *Database) GetAttr(oid schema.OID, attr string) (schema.Datum, error) {
 	o, ok := db.objects.Get(oid)
 	if !ok {
-		return schema.Datum{}, fmt.Errorf("core: no object %v", oid)
+		return schema.Datum{}, fmt.Errorf("%w: %v", ErrNoObject, oid)
 	}
 	tx := db.txns.Begin()
 	defer tx.Abort()
@@ -198,7 +215,7 @@ func (db *Database) GetAttr(oid schema.OID, attr string) (schema.Datum, error) {
 func (db *Database) DeleteObject(oid schema.OID) error {
 	o, ok := db.objects.Get(oid)
 	if !ok {
-		return fmt.Errorf("core: no object %v", oid)
+		return fmt.Errorf("%w: %v", ErrNoObject, oid)
 	}
 	tx := db.txns.Begin()
 	defer tx.Abort()

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/activity"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+)
+
+// DegradableSource is a source activity that can rebind to a cheaper
+// representation of its value mid-stream (VideoReader implements it).
+type DegradableSource interface {
+	activity.Activity
+	Degrade(v media.Value, port string) error
+}
+
+// DegradeSpec wires one stream's graceful-degradation path: when the
+// sink reports a sustained stall, the source is rebound to the fallback
+// quality, the admission grant shrinks to the cheaper bundle, and the
+// network reservation is renegotiated down — §4.1's quality factors
+// used as the recovery currency.
+type DegradeSpec struct {
+	// Source is the reader to rebind; Port is its bound port ("out").
+	Source DegradableSource
+	Port   string
+	// Sink is the activity whose EventStalled triggers degradation — a
+	// VideoWindow with stall detection enabled.
+	Sink activity.Activity
+	// Quality is the fallback quality factor.
+	Quality media.VideoQuality
+	// Grant, when set, is shrunk to the fallback's resource bundle.
+	Grant *sched.Grant
+	// Conn, when set, is renegotiated to the fallback's data rate.
+	Conn *netsim.Conn
+}
+
+// eventEmitter is satisfied by every activity embedding *activity.Base.
+type eventEmitter interface {
+	Emit(activity.EventInfo)
+}
+
+// EnableDegradation arms a one-shot quality renegotiation on the
+// session: the first EventStalled from spec.Sink re-retrieves the bound
+// value at spec.Quality, rebinds the source in place, shrinks the grant
+// and renegotiates the connection, then emits EventDegraded on the
+// sink.  The handler runs synchronously on the graph-runner goroutine.
+// A failed degradation attempt leaves the stream untouched and re-arms,
+// so a later stall edge may try again.
+func (s *Session) EnableDegradation(spec DegradeSpec) error {
+	if spec.Source == nil || spec.Sink == nil {
+		return fmt.Errorf("core: degradation needs a source and a sink")
+	}
+	if spec.Port == "" {
+		spec.Port = "out"
+	}
+	if !spec.Quality.Valid() {
+		return fmt.Errorf("core: invalid fallback quality %v", spec.Quality)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
+	}
+	var mu sync.Mutex
+	done := false
+	return spec.Sink.Catch(activity.EventStalled, func(info activity.EventInfo) {
+		mu.Lock()
+		if done {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		if err := s.degradeOnce(spec, info); err != nil {
+			return // stream unchanged; a later stall edge retries
+		}
+		mu.Lock()
+		done = true
+		mu.Unlock()
+	})
+}
+
+// degradeOnce performs the renegotiation: retrieve cheaper, rebind,
+// shrink, renegotiate, announce.
+func (s *Session) degradeOnce(spec DegradeSpec, info activity.EventInfo) error {
+	v, ok := spec.Source.Binding(spec.Port)
+	if !ok {
+		return fmt.Errorf("core: %s has no binding on %q", spec.Source.Name(), spec.Port)
+	}
+	degraded, _, err := RetrieveAtQuality(v, spec.Quality)
+	if err != nil {
+		return err
+	}
+	if err := spec.Source.Degrade(degraded, spec.Port); err != nil {
+		return err
+	}
+	rate := spec.Quality.DataRate()
+	if spec.Grant != nil {
+		target := ResourcesForVideo(spec.Quality)
+		// Shrinking is strictly downward; a target the grant cannot cover
+		// means the grant was already cheaper — leave it.
+		if target.Fits(spec.Grant.Resources()) {
+			if err := spec.Grant.Shrink(target); err != nil {
+				return err
+			}
+		}
+	}
+	if spec.Conn != nil && rate < spec.Conn.Rate() {
+		if err := spec.Conn.Renegotiate(rate); err != nil {
+			return err
+		}
+	}
+	if em, ok := spec.Sink.(eventEmitter); ok {
+		em.Emit(activity.EventInfo{Event: activity.EventDegraded, Activity: spec.Sink.Name(), At: info.At})
+	}
+	if em, ok := spec.Source.(eventEmitter); ok {
+		em.Emit(activity.EventInfo{Event: activity.EventDegraded, Activity: spec.Source.Name(), At: info.At})
+	}
+	return nil
+}

@@ -99,10 +99,10 @@ func (db *Database) AddLink(from, to schema.OID, label string) error {
 		return fmt.Errorf("core: link label must be non-empty and slash-free, got %q", label)
 	}
 	if _, ok := db.objects.Get(from); !ok {
-		return fmt.Errorf("core: no object %v", from)
+		return fmt.Errorf("%w: %v", ErrNoObject, from)
 	}
 	if _, ok := db.objects.Get(to); !ok {
-		return fmt.Errorf("core: no object %v", to)
+		return fmt.Errorf("%w: %v", ErrNoObject, to)
 	}
 	l := Link{From: from, To: to, Label: label}
 	if !db.links.add(l) {

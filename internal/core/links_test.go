@@ -138,6 +138,9 @@ func TestRetrieveAtQualityTemporalScaling(t *testing.T) {
 }
 
 func importScalable(clip *media.VideoValue) (media.Value, error) {
-	db := Open(Config{})
+	db, err := Open(Config{})
+	if err != nil {
+		return nil, err
+	}
 	return db.ImportVideo(clip, RepresentationHints{Scalable: true})
 }

@@ -53,7 +53,7 @@ func (c *PlatformConfig) fill() {
 // a video-effects processor, and one client network link named "lan0".
 func OpenDefault(name string, pc PlatformConfig) (*Database, error) {
 	pc.fill()
-	db := Open(Config{
+	db, err := Open(Config{
 		Name: name,
 		Resources: sched.Resources{
 			Buffers: 64,
@@ -61,6 +61,9 @@ func OpenDefault(name string, pc PlatformConfig) (*Database, error) {
 			Bus:     media.DataRate(pc.Disks) * pc.DiskBandwidth * 4,
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < pc.Disks; i++ {
 		d := device.NewDisk(fmt.Sprintf("disk%d", i), pc.DiskCapacity, pc.DiskBandwidth, 10*avtime.Millisecond)
 		if err := db.Devices().Register(d); err != nil {

@@ -30,7 +30,7 @@ func (db *Database) FindSimilar(className, attr string, example *media.Frame, li
 	}
 	c, ok := db.schema.Class(className)
 	if !ok {
-		return nil, fmt.Errorf("core: no class %q", className)
+		return nil, fmt.Errorf("%w: %q", ErrNoClass, className)
 	}
 	def, ok := c.Attr(attr)
 	if !ok {

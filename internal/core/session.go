@@ -66,17 +66,26 @@ func (s *Session) Install(act activity.Activity, res sched.Resources) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("core: session %s is closed", s.id)
+		return fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
 	}
+	var g *sched.Grant
 	if act.Location() == activity.AtDatabase && !res.IsZero() {
-		g, err := s.db.admission.Reserve(res)
+		var err error
+		g, err = s.db.admission.Reserve(res)
 		if err != nil {
 			return err
 		}
-		s.grants = append(s.grants, g)
 	}
 	if err := s.graph.Add(act); err != nil {
+		// A reservation for an activity that never joined the graph must
+		// not outlive the failure.
+		if g != nil {
+			g.Release()
+		}
 		return err
+	}
+	if g != nil {
+		s.grants = append(s.grants, g)
 	}
 	return nil
 }
@@ -88,7 +97,7 @@ func (s *Session) AcquireDevice(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("core: session %s is closed", s.id)
+		return fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
 	}
 	if err := s.db.devices.Acquire(id, s.id); err != nil {
 		return err
@@ -104,7 +113,7 @@ func (s *Session) Connect(from activity.Activity, fromPort string, to activity.A
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("core: session %s is closed", s.id)
+		return nil, fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
 	}
 	if from.Location() == to.Location() {
 		return s.graph.Connect(from, fromPort, to, toPort)
@@ -244,7 +253,7 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("core: session %s is closed", s.id)
+		return nil, fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
 	}
 	if s.playback != nil {
 		select {

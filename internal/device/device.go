@@ -67,6 +67,40 @@ var ErrBandwidth = fmt.Errorf("device: insufficient bandwidth")
 // ErrCapacity is wrapped by space-allocation failures.
 var ErrCapacity = fmt.Errorf("device: insufficient capacity")
 
+// ErrNoDevice is wrapped by lookups of unknown devices or discs.
+var ErrNoDevice = fmt.Errorf("device: no such device")
+
+// ErrDeviceFailed is wrapped by reads against a device that is down — a
+// hard fault that retrying within the outage cannot fix.
+var ErrDeviceFailed = fmt.Errorf("device: device failed")
+
+// ErrTransientRead is wrapped by reads that failed transiently (a bad
+// sector, a dropped bus transaction, a disc-swap misload).  Transient
+// faults are the retryable class: a bounded retry with backoff is the
+// prescribed recovery.
+var ErrTransientRead = fmt.Errorf("device: transient read fault")
+
+// FaultHook is consulted on a device's timed operations; a fault
+// injector implements it to make simulated hardware misbehave on a
+// deterministic schedule.  A nil hook is a fault-free device.
+type FaultHook interface {
+	// BeforeRead runs before a read of bytes from the device.  It
+	// returns extra world time the fault costs (charged to the read) and
+	// an error to inject: one wrapping ErrTransientRead for a retryable
+	// fault, or ErrDeviceFailed for an outage.
+	BeforeRead(deviceID string, bytes int64) (avtime.WorldTime, error)
+	// BeforeSwap runs before a jukebox disc swap and may fail it.
+	BeforeSwap(deviceID string, disc int) error
+}
+
+// Faultable is satisfied by devices that accept a fault hook and expose
+// the pre-read check; the storage layer uses it to price and classify
+// faulted reads.
+type Faultable interface {
+	SetFaultHook(FaultHook)
+	CheckRead(bytes int64) (avtime.WorldTime, error)
+}
+
 // bwAccount is a reservable bandwidth budget shared by disks and the
 // jukebox.
 type bwAccount struct {
@@ -122,6 +156,7 @@ type Disk struct {
 
 	mu   sync.Mutex
 	used int64
+	hook FaultHook
 }
 
 // NewDisk returns a disk with the given geometry.
@@ -209,6 +244,25 @@ func (d *Disk) TransferTime(bytes int64, seeks int) avtime.WorldTime {
 // SeekTime reports one average positioning time.
 func (d *Disk) SeekTime() avtime.WorldTime { return d.seek }
 
+// SetFaultHook implements Faultable.
+func (d *Disk) SetFaultHook(h FaultHook) {
+	d.mu.Lock()
+	d.hook = h
+	d.mu.Unlock()
+}
+
+// CheckRead implements Faultable: it consults the fault hook before a
+// read of bytes, returning any extra latency and injected error.
+func (d *Disk) CheckRead(bytes int64) (avtime.WorldTime, error) {
+	d.mu.Lock()
+	h := d.hook
+	d.mu.Unlock()
+	if h == nil {
+		return 0, nil
+	}
+	return h.BeforeRead(d.id, bytes)
+}
+
 // Jukebox is an analog videodisc jukebox: several discs, one of which is
 // loaded at a time; switching discs costs a swap latency.  "An analog
 // videodisc jukebox provides a video storage capacity difficult to achieve
@@ -223,6 +277,7 @@ type Jukebox struct {
 	mu      sync.Mutex
 	used    []int64
 	current int
+	hook    FaultHook
 }
 
 // NewJukebox returns a jukebox with the given number of discs.
@@ -271,7 +326,7 @@ func (j *Jukebox) Allocate(disc int, bytes int64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if disc < 0 || disc >= len(j.used) {
-		return fmt.Errorf("device: jukebox %q has no disc %d", j.id, disc)
+		return fmt.Errorf("%w: jukebox %q has no disc %d", ErrNoDevice, j.id, disc)
 	}
 	if bytes < 0 {
 		return fmt.Errorf("device: negative allocation %d", bytes)
@@ -302,10 +357,17 @@ func (j *Jukebox) AccessTime(disc int, bytes int64) (avtime.WorldTime, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if disc < 0 || disc >= len(j.used) {
-		return 0, fmt.Errorf("device: jukebox %q has no disc %d", j.id, disc)
+		return 0, fmt.Errorf("%w: jukebox %q has no disc %d", ErrNoDevice, j.id, disc)
 	}
 	var t avtime.WorldTime
 	if disc != j.current {
+		if j.hook != nil {
+			if err := j.hook.BeforeSwap(j.id, disc); err != nil {
+				// The swap mechanism jammed: the head stays on the current
+				// disc and the failed attempt still costs a swap latency.
+				return j.swap, err
+			}
+		}
 		t += j.swap
 		j.current = disc
 	}
@@ -323,6 +385,24 @@ func (j *Jukebox) Reserve(r media.DataRate) error { return j.bw.reserve(r) }
 
 // Release returns reserved bandwidth.
 func (j *Jukebox) Release(r media.DataRate) { j.bw.release(r) }
+
+// SetFaultHook implements Faultable.
+func (j *Jukebox) SetFaultHook(h FaultHook) {
+	j.mu.Lock()
+	j.hook = h
+	j.mu.Unlock()
+}
+
+// CheckRead implements Faultable.
+func (j *Jukebox) CheckRead(bytes int64) (avtime.WorldTime, error) {
+	j.mu.Lock()
+	h := j.hook
+	j.mu.Unlock()
+	if h == nil {
+		return 0, nil
+	}
+	return h.BeforeRead(j.id, bytes)
+}
 
 // Unit is a non-storage device: framebuffer, ADC, DAC, DSP or video
 // effects processor.  Throughput is the data rate the unit can process;

@@ -81,7 +81,7 @@ func (m *Manager) Acquire(id, owner string) error {
 	defer m.mu.Unlock()
 	d, ok := m.devices[id]
 	if !ok {
-		return fmt.Errorf("device: no device %q", id)
+		return fmt.Errorf("%w: %q", ErrNoDevice, id)
 	}
 	if !d.Exclusive() {
 		return nil
@@ -100,7 +100,7 @@ func (m *Manager) Release(id, owner string) error {
 	defer m.mu.Unlock()
 	d, ok := m.devices[id]
 	if !ok {
-		return fmt.Errorf("device: no device %q", id)
+		return fmt.Errorf("%w: %q", ErrNoDevice, id)
 	}
 	if !d.Exclusive() {
 		return nil
@@ -118,6 +118,19 @@ func (m *Manager) Holder(id string) (string, bool) {
 	defer m.mu.Unlock()
 	h, ok := m.holders[id]
 	return h, ok
+}
+
+// SetFaultHook installs a fault hook on every registered device that
+// accepts one (disks and jukeboxes); units have no timed read path to
+// fault.  Pass nil to clear.
+func (m *Manager) SetFaultHook(h FaultHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.devices {
+		if f, ok := d.(Faultable); ok {
+			f.SetFaultHook(h)
+		}
+	}
 }
 
 // ReleaseAll returns every device held by owner, for session teardown.

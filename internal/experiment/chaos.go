@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/fault"
+	"avdb/internal/media"
+	"avdb/internal/schema"
+	"avdb/internal/sched"
+)
+
+// Chaos ablation parameters.  The plan injects, over a frames-long
+// stream on the default platform:
+//
+//   - transient read faults on disk0 (p=0.25) in the first quarter,
+//   - a hard disk0 outage for a tenth of the run starting at 40%,
+//   - a link-bandwidth collapse to a quarter from 50% to 87.5%,
+//   - chunk loss (p=0.05) and corruption (p=0.03) throughout.
+//
+// The baseline run takes the faults with no recovery machinery; the
+// resilient run arms bounded retry, frame sacrifice, fail-soft
+// transfers, stall detection and quality degradation.
+const (
+	chaosTransientP = 0.25
+	chaosLossP      = 0.05
+	chaosCorruptP   = 0.03
+	chaosDegrade    = 0.25 // surviving bandwidth fraction during collapse
+)
+
+// chaosTolerance and chaosThreshold parameterize stall detection: the
+// per-frame path cost is ~70 ms fault-free and ~170 ms under the
+// collapsed link, so 100 ms separates jitter from catastrophe.
+const (
+	chaosTolerance = 100 * avtime.Millisecond
+	chaosThreshold = 3
+)
+
+// chaosPlan schedules the fault campaign over a run of the given
+// length.
+func chaosPlan(total avtime.WorldTime, seed int64) (*fault.Plan, error) {
+	p := fault.NewPlan(seed)
+	for _, f := range []fault.Fault{
+		{Kind: fault.TransientRead, Target: "disk0", Start: 0, Dur: total / 4, Probability: chaosTransientP},
+		{Kind: fault.DeviceOutage, Target: "disk0", Start: total * 2 / 5, Dur: total / 10},
+		{Kind: fault.LinkDegrade, Target: "lan0", Start: total / 2, Dur: total * 3 / 8, Factor: chaosDegrade},
+		{Kind: fault.ChunkLoss, Target: "lan0", Start: 0, Dur: total, Probability: chaosLossP},
+		{Kind: fault.ChunkCorrupt, Target: "lan0", Start: 0, Dur: total, Probability: chaosCorruptP},
+	} {
+		if _, err := p.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ChaosRun is one arm of the ablation.
+type ChaosRun struct {
+	Recovery bool   // retry + sacrifice + fail-soft + degradation armed
+	Survived bool   // the stream ran to completion
+	Fatal    string // the fault that killed it, when it did not
+
+	FramesTotal int // frames the clip holds
+	FramesShown int // frames that reached the window
+	FramesLost  int // frames the reader sacrificed to device faults
+	Corrupted   int // frames shown with damaged payloads
+	Retries     int // extra read attempts spent on transient faults
+
+	ChunksDropped    int64 // chunks lost in flight
+	TransferFailures int64 // failed transfers absorbed in flight
+
+	Stalls   int  // stall episodes detected
+	Degraded bool // quality renegotiation fired
+
+	Misses   int     // deadline misses, counting undelivered frames
+	MissRate float64 // Misses / FramesTotal
+	Injected string  // injection counts by kind
+}
+
+// ChaosResult is the full ablation: identical fault seeds, recovery off
+// versus on.
+type ChaosResult struct {
+	Frames   int
+	Seed     int64
+	Baseline ChaosRun
+	Resilient ChaosRun
+}
+
+// Chaos runs the fault-injection ablation.  Both arms stream the same
+// stored clip from disk0 over lan0 under the same seeded fault plan;
+// only the recovery machinery differs.
+func Chaos(frames int, seed int64) (*ChaosResult, error) {
+	base, err := chaosArm(frames, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := chaosArm(frames, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosResult{Frames: frames, Seed: seed, Baseline: *base, Resilient: *res}, nil
+}
+
+func chaosArm(frames int, seed int64, recovery bool) (*ChaosRun, error) {
+	total := avtime.WorldTime(frames) * avtime.Second / clipFPS
+	db, err := core.OpenDefault("chaos", core.PlatformConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.DefineClass("Clip", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "video", Kind: schema.KindMedia, MediaKind: media.KindVideo},
+	}); err != nil {
+		return nil, err
+	}
+	obj, err := db.NewObject("Clip")
+	if err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(obj.OID(), "title", schema.String("chaos")); err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(obj.OID(), "video", schema.Media(stdClip(frames, seed))); err != nil {
+		return nil, err
+	}
+	q := stdQuality()
+	rate := q.DataRate()
+	if _, err := db.PlaceMedia(obj.OID(), "video", "disk0", rate); err != nil {
+		return nil, err
+	}
+
+	// Arm the fault campaign before any stream opens.
+	plan, err := chaosPlan(total, seed)
+	if err != nil {
+		return nil, err
+	}
+	inj := fault.NewInjector(plan, db.Clock())
+	db.Devices().SetFaultHook(inj)
+	link, ok := db.Network().Link("lan0")
+	if !ok {
+		return nil, fmt.Errorf("experiment: default platform lost lan0")
+	}
+	link.SetFaultHook(inj)
+
+	sess, err := db.Connect("chaos-app", "lan0")
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	vr, err := activities.NewVideoReader("reader", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return nil, err
+	}
+	window := activities.NewVideoWindow("window", activity.AtApplication, media.VideoQuality{}, chaosTolerance)
+	// The stream's admission grant is reserved explicitly so the
+	// degradation path can shrink it.
+	grant, err := db.Admission().Reserve(core.ResourcesForVideo(q))
+	if err != nil {
+		return nil, err
+	}
+	defer grant.Release()
+	for _, a := range []activity.Activity{vr, window} {
+		if err := sess.Install(a, sched.Resources{}); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := sess.Connect(vr, "out", window, "in", rate)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.BindValue(obj.OID(), "video", vr, "out", rate); err != nil {
+		return nil, err
+	}
+
+	var stall *sched.StallDetector
+	if recovery {
+		vr.SetRetry(fault.DefaultRetry)
+		vr.SetDropOnFault(true)
+		conn.SetFailSoft(true)
+		stall = window.EnableStallDetection(chaosTolerance, chaosThreshold)
+		// Degrade geometry, keep the frame rate: under a collapsed link
+		// the pipe stays reserved and the content shrinks to fit it.
+		fallback := media.VideoQuality{Width: clipW / 2, Height: clipH / 2, Depth: clipDepth, FPS: clipFPS}
+		if err := sess.EnableDegradation(core.DegradeSpec{
+			Source: vr, Port: "out", Sink: window, Quality: fallback, Grant: grant,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	degraded := false
+	if err := window.Catch(activity.EventDegraded, func(activity.EventInfo) { degraded = true }); err != nil {
+		return nil, err
+	}
+
+	pb, err := sess.Start()
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := pb.Wait()
+
+	run := &ChaosRun{
+		Recovery:    recovery,
+		Survived:    runErr == nil,
+		FramesTotal: frames,
+		FramesShown: window.FramesShown(),
+		FramesLost:  vr.FramesLost(),
+		Corrupted:   window.CorruptedFrames(),
+		Retries:     vr.Retries(),
+		Degraded:    degraded,
+		Injected:    inj.CountString(),
+	}
+	if runErr != nil {
+		run.Fatal = runErr.Error()
+	}
+	if stats != nil {
+		run.ChunksDropped = stats.ChunksDropped
+		run.TransferFailures = stats.TransferFailures
+	}
+	if stall != nil {
+		run.Stalls = stall.Episodes()
+	}
+	// Undelivered frames are deadline misses: nothing was presented when
+	// something was due.
+	run.Misses = window.Monitor().Misses() + (run.FramesTotal - run.FramesShown)
+	if run.FramesTotal > 0 {
+		run.MissRate = float64(run.Misses) / float64(run.FramesTotal)
+	}
+	return run, nil
+}
+
+// String renders the ablation.
+func (r *ChaosResult) String() string {
+	cell := func(run ChaosRun) []string {
+		survived := "died"
+		if run.Survived {
+			survived = "yes"
+		}
+		deg := "no"
+		if run.Degraded {
+			deg = "yes"
+		}
+		return []string{
+			survived,
+			fmt.Sprintf("%d/%d", run.FramesShown, run.FramesTotal),
+			fmt.Sprint(run.FramesLost),
+			fmt.Sprint(run.ChunksDropped),
+			fmt.Sprint(run.Corrupted),
+			fmt.Sprint(run.Retries),
+			fmt.Sprint(run.Stalls),
+			deg,
+			fmt.Sprintf("%.1f%%", 100*run.MissRate),
+		}
+	}
+	header := []string{"configuration", "survived", "shown", "sacrificed", "lost in flight", "corrupted", "retries", "stalls", "degraded", "miss rate"}
+	rows := [][]string{
+		append([]string{"baseline (no recovery)"}, cell(r.Baseline)...),
+		append([]string{"resilient (retry+degrade)"}, cell(r.Resilient)...),
+	}
+	s := fmt.Sprintf("Chaos: fault injection over %d frames, seed %d\n\n", r.Frames, r.Seed)
+	s += table(header, rows)
+	s += fmt.Sprintf("\ninjected (baseline arm):  %s\n", r.Baseline.Injected)
+	s += fmt.Sprintf("injected (resilient arm): %s\n", r.Resilient.Injected)
+	if r.Baseline.Fatal != "" {
+		s += fmt.Sprintf("baseline died: %s\n", r.Baseline.Fatal)
+	}
+	return s
+}

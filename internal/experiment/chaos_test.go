@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosAblation(t *testing.T) {
+	res, err := Chaos(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance claim: under an identical seeded fault campaign the
+	// recovery machinery keeps the stream alive and strictly reduces the
+	// deadline-miss rate.
+	if res.Baseline.Survived {
+		t.Error("baseline survived the campaign; faults not injected?")
+	}
+	if !res.Resilient.Survived {
+		t.Errorf("resilient stream died: %s", res.Resilient.Fatal)
+	}
+	if res.Resilient.MissRate >= res.Baseline.MissRate {
+		t.Errorf("resilient miss rate %.3f not under baseline %.3f",
+			res.Resilient.MissRate, res.Baseline.MissRate)
+	}
+	if res.Resilient.Retries == 0 {
+		t.Error("no retries spent; transient faults not exercised")
+	}
+	if res.Resilient.Stalls == 0 {
+		t.Error("no stall episode under the link collapse")
+	}
+	if !res.Resilient.Degraded {
+		t.Error("degradation never fired")
+	}
+	if res.Resilient.ChunksDropped == 0 {
+		t.Error("no chunks dropped; loss faults not exercised")
+	}
+	if res.Resilient.Corrupted == 0 {
+		t.Error("no corrupted frames seen")
+	}
+	if res.Resilient.FramesShown+res.Resilient.FramesLost+int(res.Resilient.ChunksDropped) != res.Resilient.FramesTotal {
+		t.Errorf("frame accounting broken: %d shown + %d lost + %d dropped != %d",
+			res.Resilient.FramesShown, res.Resilient.FramesLost,
+			res.Resilient.ChunksDropped, res.Resilient.FramesTotal)
+	}
+	out := res.String()
+	for _, needle := range []string{"baseline (no recovery)", "resilient (retry+degrade)", "transient-read"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("rendition missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	// Same seed, byte-identical report; a different seed changes the
+	// injection trace.
+	a, err := Chaos(90, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(90, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	c, err := Chaos(90, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Resilient.Injected == a.Resilient.Injected && c.Resilient.FramesShown == a.Resilient.FramesShown {
+		t.Error("different seed produced the same injection trace")
+	}
+}
+
+func BenchmarkChaosBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := chaosArm(120, 7, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaosResilient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := chaosArm(120, 7, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

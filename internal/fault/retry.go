@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"errors"
+
+	"avdb/internal/avtime"
+	"avdb/internal/device"
+)
+
+// Retryable reports whether an error is worth retrying: transient
+// device read faults and disc-swap jams are; outages, partitions and
+// everything else are not.
+func Retryable(err error) bool {
+	return errors.Is(err, device.ErrTransientRead)
+}
+
+// RetryPolicy bounds recovery from transient faults.  Retries are not
+// free: every failed attempt's cost and every backoff pause is charged
+// to the virtual timeline, so a stream that retries too generously
+// misses its deadlines honestly.
+type RetryPolicy struct {
+	MaxAttempts int              // total attempts, including the first; <= 1 means no retries
+	Backoff     avtime.WorldTime // pause before the first retry
+	Multiplier  float64          // backoff growth per retry; values < 1 are treated as 1
+}
+
+// DefaultRetry is a sane policy for transient device faults: three
+// attempts with a 5 ms initial backoff doubling per retry.
+var DefaultRetry = RetryPolicy{MaxAttempts: 3, Backoff: 5 * avtime.Millisecond, Multiplier: 2}
+
+// Do runs op until it succeeds, returns a non-retryable error, or
+// attempts are exhausted.  op reports the world time the attempt cost
+// (for a failed read, the time wasted discovering the failure).  Do
+// returns the total world time consumed — failed attempts plus
+// backoffs plus the final attempt — the attempt count, and the last
+// error.
+func (p RetryPolicy) Do(op func() (avtime.WorldTime, error)) (avtime.WorldTime, int, error) {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	var total avtime.WorldTime
+	backoff := p.Backoff
+	var err error
+	for n := 1; ; n++ {
+		var dt avtime.WorldTime
+		dt, err = op()
+		total += dt
+		if err == nil {
+			return total, n, nil
+		}
+		if n >= attempts || !Retryable(err) {
+			return total, n, err
+		}
+		total += backoff
+		backoff = avtime.WorldTime(float64(backoff) * mult)
+	}
+}

@@ -25,6 +25,38 @@ import (
 // ErrBandwidth is wrapped by connection-admission failures.
 var ErrBandwidth = fmt.Errorf("netsim: insufficient link bandwidth")
 
+// ErrLinkDown is wrapped by transfers attempted across a partitioned
+// link.
+var ErrLinkDown = fmt.Errorf("netsim: link down")
+
+// ErrClosed is wrapped by operations on a closed connection.
+var ErrClosed = fmt.Errorf("netsim: connection closed")
+
+// TransferFault is a fault hook's verdict on one transfer: the link may
+// be partitioned (the transfer fails), running degraded (serialization
+// slows by SlowFactor), or the chunk may be lost or corrupted in flight.
+type TransferFault struct {
+	Down       bool
+	SlowFactor float64 // > 1 multiplies serialization time; <= 1 means none
+	Drop       bool
+	Corrupt    bool
+}
+
+// FaultHook is consulted on every transfer; a fault injector implements
+// it to make the simulated network misbehave on a deterministic
+// schedule.  A nil hook is a fault-free link.
+type FaultHook interface {
+	TransferFault(linkID string, bytes int64) TransferFault
+}
+
+// Delivery describes how one transfer went: the world time it occupied
+// and whether the payload survived the trip.
+type Delivery struct {
+	Time      avtime.WorldTime
+	Dropped   bool // lost in flight; Time is still consumed
+	Corrupted bool // delivered, but the payload is damaged
+}
+
 // Link is one network path between the database and a client site.
 type Link struct {
 	id        string
@@ -36,6 +68,7 @@ type Link struct {
 	reserved media.DataRate
 	seed     int64
 	nextConn int
+	hook     FaultHook
 }
 
 // NewLink returns a link with the given capacity, propagation latency and
@@ -59,6 +92,14 @@ func (l *Link) Latency() avtime.WorldTime { return l.latency }
 
 // MaxJitter reports the jitter bound.
 func (l *Link) MaxJitter() avtime.WorldTime { return l.maxJitter }
+
+// SetFaultHook installs a fault hook consulted on every transfer; nil
+// clears it.
+func (l *Link) SetFaultHook(h FaultHook) {
+	l.mu.Lock()
+	l.hook = h
+	l.mu.Unlock()
+}
 
 // Reserved reports the bandwidth currently reserved by open connections.
 func (l *Link) Reserved() media.DataRate {
@@ -113,7 +154,11 @@ type Conn struct {
 }
 
 // Rate reports the connection's reserved rate.
-func (c *Conn) Rate() media.DataRate { return c.rate }
+func (c *Conn) Rate() media.DataRate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
 
 // Link returns the underlying link.
 func (c *Conn) Link() *Link { return c.link }
@@ -127,23 +172,76 @@ func (c *Conn) IsOpen() bool {
 
 // Transfer accounts for moving the given bytes and reports the world time
 // the transfer occupies: propagation latency, serialization at the
-// reserved rate, and one jitter sample.
+// reserved rate, and one jitter sample.  Chunks lost or corrupted by an
+// installed fault hook still consume their time; callers that need to
+// distinguish them use TransferChunk.
 func (c *Conn) Transfer(bytes int64) (avtime.WorldTime, error) {
+	d, err := c.TransferChunk(bytes)
+	return d.Time, err
+}
+
+// TransferChunk accounts for moving the given bytes and reports the full
+// delivery outcome, including in-flight loss and corruption injected by
+// the link's fault hook.  A partitioned link fails with ErrLinkDown.
+func (c *Conn) TransferChunk(bytes int64) (Delivery, error) {
 	if bytes < 0 {
-		return 0, fmt.Errorf("netsim: negative transfer %d", bytes)
+		return Delivery{}, fmt.Errorf("netsim: negative transfer %d", bytes)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.open {
-		return 0, fmt.Errorf("netsim: transfer on closed connection")
+		return Delivery{}, fmt.Errorf("%w: transfer on closed connection", ErrClosed)
+	}
+	c.link.mu.Lock()
+	hook := c.link.hook
+	c.link.mu.Unlock()
+	var f TransferFault
+	if hook != nil {
+		f = hook.TransferFault(c.link.id, bytes)
+	}
+	if f.Down {
+		return Delivery{}, fmt.Errorf("%w: link %q", ErrLinkDown, c.link.id)
 	}
 	c.bytes += bytes
 	c.messages++
-	t := c.link.latency + avtime.WorldTime(bytes*int64(avtime.Second)/int64(c.rate))
+	ser := avtime.WorldTime(bytes * int64(avtime.Second) / int64(c.rate))
+	if f.SlowFactor > 1 {
+		ser = avtime.WorldTime(float64(ser) * f.SlowFactor)
+	}
+	t := c.link.latency + ser
 	if c.link.maxJitter > 0 {
 		t += avtime.WorldTime(c.rng.Int63n(int64(c.link.maxJitter) + 1))
 	}
-	return t, nil
+	return Delivery{Time: t, Dropped: f.Drop, Corrupted: f.Corrupt}, nil
+}
+
+// Renegotiate changes the connection's reserved rate in place — the
+// network half of a quality renegotiation.  Lowering the rate always
+// succeeds and returns bandwidth to the link; raising it fails when the
+// link cannot sustain the increase alongside existing reservations.
+func (c *Conn) Renegotiate(rate media.DataRate) error {
+	if rate <= 0 {
+		return fmt.Errorf("netsim: connection rate must be positive, got %v", rate)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return fmt.Errorf("%w: renegotiate on closed connection", ErrClosed)
+	}
+	delta := rate - c.rate
+	c.link.mu.Lock()
+	if delta > 0 && c.link.reserved+delta > c.link.capacity {
+		free := c.link.capacity - c.link.reserved
+		c.link.mu.Unlock()
+		return fmt.Errorf("%w: link %q: %v more requested, %v free", ErrBandwidth, c.link.id, delta, free)
+	}
+	c.link.reserved += delta
+	if c.link.reserved < 0 {
+		c.link.reserved = 0
+	}
+	c.link.mu.Unlock()
+	c.rate = rate
+	return nil
 }
 
 // BytesCarried reports the total bytes moved over the connection.
@@ -168,9 +266,10 @@ func (c *Conn) Close() {
 		return
 	}
 	c.open = false
+	rate := c.rate
 	c.mu.Unlock()
 	c.link.mu.Lock()
-	c.link.reserved -= c.rate
+	c.link.reserved -= rate
 	if c.link.reserved < 0 {
 		c.link.reserved = 0
 	}

@@ -60,12 +60,14 @@ type Admission struct {
 	used  Resources
 }
 
-// NewAdmission returns an admission controller with the given budget.
-func NewAdmission(total Resources) *Admission {
+// NewAdmission returns an admission controller with the given budget.  A
+// budget with a negative component is a configuration error, reported
+// rather than panicked so that callers can surface it to their clients.
+func NewAdmission(total Resources) (*Admission, error) {
 	if !total.nonNegative() {
-		panic(fmt.Sprintf("sched: negative admission budget %v", total))
+		return nil, fmt.Errorf("sched: negative admission budget %v", total)
 	}
-	return &Admission{total: total}
+	return &Admission{total: total}, nil
 }
 
 // Total reports the full budget.
@@ -113,7 +115,37 @@ type Grant struct {
 }
 
 // Resources reports what the grant holds.
-func (g *Grant) Resources() Resources { return g.r }
+func (g *Grant) Resources() Resources {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r
+}
+
+// Shrink reduces the grant to the smaller bundle, returning the freed
+// resources to the admission budget.  This is the re-reservation a
+// degradation policy performs when a stream renegotiates to a lower
+// quality: the smaller grant always fits, so shrinking cannot fail for
+// capacity reasons.  Growing a grant, or shrinking a released one, is an
+// error.
+func (g *Grant) Shrink(to Resources) error {
+	if !to.nonNegative() {
+		return fmt.Errorf("sched: negative shrink target %v", to)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return fmt.Errorf("sched: shrink of released grant")
+	}
+	if !to.Fits(g.r) {
+		return fmt.Errorf("sched: shrink target %v exceeds grant %v", to, g.r)
+	}
+	freed := g.r.Sub(to)
+	g.r = to
+	g.a.mu.Lock()
+	g.a.used = g.a.used.Sub(freed)
+	g.a.mu.Unlock()
+	return nil
+}
 
 // Release returns the grant's resources.  Releasing twice is a no-op.
 func (g *Grant) Release() {
@@ -123,8 +155,9 @@ func (g *Grant) Release() {
 		return
 	}
 	g.released = true
+	r := g.r
 	g.mu.Unlock()
 	g.a.mu.Lock()
-	g.a.used = g.a.used.Sub(g.r)
+	g.a.used = g.a.used.Sub(r)
 	g.a.mu.Unlock()
 }

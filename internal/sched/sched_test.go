@@ -62,7 +62,7 @@ func TestResourcesArithmetic(t *testing.T) {
 }
 
 func TestAdmissionReserveRelease(t *testing.T) {
-	adm := NewAdmission(Resources{Buffers: 10, CPU: 100 * media.MBPerSecond, Bus: 200 * media.MBPerSecond})
+	adm := mustAdmission(t, Resources{Buffers: 10, CPU: 100 * media.MBPerSecond, Bus: 200 * media.MBPerSecond})
 	g1, err := adm.Reserve(Resources{Buffers: 6, CPU: 60 * media.MBPerSecond, Bus: 50 * media.MBPerSecond})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestAdmissionReserveRelease(t *testing.T) {
 }
 
 func TestAdmissionConcurrent(t *testing.T) {
-	adm := NewAdmission(Resources{Buffers: 100})
+	adm := mustAdmission(t, Resources{Buffers: 100})
 	var wg sync.WaitGroup
 	grants := make(chan *Grant, 300)
 	for i := 0; i < 300; i++ {
@@ -125,7 +125,7 @@ func TestAdmissionConcurrent(t *testing.T) {
 }
 
 func TestAdmissionInvariantProperty(t *testing.T) {
-	adm := NewAdmission(Resources{Buffers: 50, CPU: 1000, Bus: 1000})
+	adm := mustAdmission(t, Resources{Buffers: 50, CPU: 1000, Bus: 1000})
 	f := func(reqs []uint8) bool {
 		var grants []*Grant
 		for _, r := range reqs {
@@ -288,5 +288,21 @@ func TestSkew(t *testing.T) {
 	got := Skew(map[string]avtime.WorldTime{"a": 5, "b": 12, "c": 8})
 	if got != 7 {
 		t.Errorf("Skew = %v, want 7", got)
+	}
+}
+
+// mustAdmission builds an admission controller or fails the test.
+func mustAdmission(t *testing.T, r Resources) *Admission {
+	t.Helper()
+	a, err := NewAdmission(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAdmissionRejectsNegativeBudget(t *testing.T) {
+	if _, err := NewAdmission(Resources{Buffers: -1}); err == nil {
+		t.Error("negative budget accepted")
 	}
 }

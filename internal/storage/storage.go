@@ -20,6 +20,16 @@ import (
 	"avdb/internal/media"
 )
 
+// ErrNoSegment is wrapped by lookups of unknown segments.
+var ErrNoSegment = fmt.Errorf("storage: no such segment")
+
+// ErrNoPlacement is wrapped when no device can hold a value at the
+// required rate — the placement half of admission failing.
+var ErrNoPlacement = fmt.Errorf("storage: no eligible placement")
+
+// ErrStreamClosed is wrapped by reads on a closed stream.
+var ErrStreamClosed = fmt.Errorf("storage: stream closed")
+
 // SegID identifies a stored segment.
 type SegID uint64
 
@@ -118,7 +128,7 @@ func (st *Store) PlaceAuto(v media.Value, rate media.DataRate) (*Segment, error)
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("storage: no disk with %d bytes free and %v bandwidth", v.Size(), rate)
+		return nil, fmt.Errorf("%w: no disk with %d bytes free and %v bandwidth", ErrNoPlacement, v.Size(), rate)
 	}
 	return st.Place(v, best.ID())
 }
@@ -161,11 +171,11 @@ func (st *Store) Delete(id SegID) error {
 	}
 	st.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("storage: no segment %v", id)
+		return fmt.Errorf("%w: %v", ErrNoSegment, id)
 	}
 	dev, found := st.devices.Get(s.devID)
 	if !found {
-		return fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+		return fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
 	}
 	switch d := dev.(type) {
 	case *device.Disk:
@@ -184,7 +194,7 @@ func (st *Store) Move(id SegID, toDevice string) (avtime.WorldTime, error) {
 	s, ok := st.segments[id]
 	st.mu.Unlock()
 	if !ok {
-		return 0, fmt.Errorf("storage: no segment %v", id)
+		return 0, fmt.Errorf("%w: %v", ErrNoSegment, id)
 	}
 	dst, err := st.disk(toDevice)
 	if err != nil {
@@ -196,7 +206,7 @@ func (st *Store) Move(id SegID, toDevice string) (avtime.WorldTime, error) {
 	var readTime avtime.WorldTime
 	srcDev, found := st.devices.Get(s.devID)
 	if !found {
-		return 0, fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+		return 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
 	}
 	switch d := srcDev.(type) {
 	case *device.Disk:
@@ -228,7 +238,7 @@ func (st *Store) Move(id SegID, toDevice string) (avtime.WorldTime, error) {
 func (st *Store) disk(deviceID string) (*device.Disk, error) {
 	dev, ok := st.devices.Get(deviceID)
 	if !ok {
-		return nil, fmt.Errorf("storage: no device %q", deviceID)
+		return nil, fmt.Errorf("storage: %w: %q", device.ErrNoDevice, deviceID)
 	}
 	d, ok := dev.(*device.Disk)
 	if !ok {
@@ -240,7 +250,7 @@ func (st *Store) disk(deviceID string) (*device.Disk, error) {
 func (st *Store) jukebox(deviceID string) (*device.Jukebox, error) {
 	dev, ok := st.devices.Get(deviceID)
 	if !ok {
-		return nil, fmt.Errorf("storage: no device %q", deviceID)
+		return nil, fmt.Errorf("storage: %w: %q", device.ErrNoDevice, deviceID)
 	}
 	j, ok := dev.(*device.Jukebox)
 	if !ok {
@@ -253,6 +263,7 @@ func (st *Store) jukebox(deviceID string) (*device.Jukebox, error) {
 type Stream struct {
 	st   *Store
 	seg  *Segment
+	dev  device.Device
 	rate media.DataRate
 
 	mu      sync.Mutex
@@ -270,14 +281,14 @@ func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.Worl
 	s, ok := st.segments[id]
 	st.mu.Unlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("storage: no segment %v", id)
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoSegment, id)
 	}
 	if rate <= 0 {
 		return nil, 0, fmt.Errorf("storage: stream rate must be positive, got %v", rate)
 	}
 	dev, found := st.devices.Get(s.devID)
 	if !found {
-		return nil, 0, fmt.Errorf("storage: segment %v references missing device %q", id, s.devID)
+		return nil, 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
 	}
 	var startup avtime.WorldTime
 	switch d := dev.(type) {
@@ -299,7 +310,7 @@ func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.Worl
 	default:
 		return nil, 0, fmt.Errorf("storage: device %q cannot stream", s.devID)
 	}
-	return &Stream{st: st, seg: s, rate: rate, open: true, startup: startup}, startup, nil
+	return &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup}, startup, nil
 }
 
 // Segment returns the streamed segment.
@@ -311,6 +322,12 @@ func (s *Stream) Rate() media.DataRate { return s.rate }
 // ReadTime accounts a read of the given bytes and reports the world time
 // it occupies at the reserved rate.  The stream's startup cost — a seek,
 // or a disc swap on the jukebox — is charged to the first read.
+//
+// When the segment's device has a fault hook installed, the read may
+// fail with an error wrapping device.ErrTransientRead (retryable) or
+// device.ErrDeviceFailed (outage).  A failed read consumes no stream
+// bytes, but the returned world time is the cost of the failed attempt
+// and must still be charged to the caller's timeline.
 func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("storage: negative read %d", bytes)
@@ -318,10 +335,18 @@ func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.open {
-		return 0, fmt.Errorf("storage: read on closed stream")
+		return 0, fmt.Errorf("%w: read on closed stream", ErrStreamClosed)
+	}
+	var extra avtime.WorldTime
+	if f, ok := s.dev.(device.Faultable); ok {
+		dt, err := f.CheckRead(bytes)
+		if err != nil {
+			return dt, fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.seg.devID, err)
+		}
+		extra = dt
 	}
 	s.bytes += bytes
-	t := avtime.WorldTime(bytes * int64(avtime.Second) / int64(s.rate))
+	t := extra + avtime.WorldTime(bytes*int64(avtime.Second)/int64(s.rate))
 	t += s.startup
 	s.startup = 0
 	return t, nil
