@@ -8,6 +8,9 @@
 //	avbench -exp fig3        # one experiment: table1, fig1..fig4, c1..c5
 //	avbench -frames 300      # longer streams
 //	avbench -list            # list experiment names
+//	avbench -exp obs -metrics -trace
+//	                         # instrumented playback with the full
+//	                         # metric and span-tree rendition
 package main
 
 import (
@@ -46,7 +49,26 @@ type sweepStringer []experiment.Fig4SweepRow
 
 func (s sweepStringer) String() string { return experiment.SweepString(s) }
 
-func runners() []runner {
+// obsStringer renders an Observe result with optional full metric and
+// trace sections.
+type obsStringer struct {
+	res     *experiment.ObserveResult
+	metrics bool
+	trace   bool
+}
+
+func (o obsStringer) String() string {
+	s := o.res.String()
+	if o.metrics {
+		s += "\n" + o.res.Snap.MetricsText()
+	}
+	if o.trace {
+		s += "\n" + o.res.Snap.TraceText()
+	}
+	return s
+}
+
+func runners(metrics, trace bool) []runner {
 	return []runner{
 		{"rates", "media data rates and measured compression", func(int) (fmt.Stringer, error) {
 			return experiment.Rates()
@@ -95,6 +117,13 @@ func runners() []runner {
 		{"chaos", "fault injection: stream survival with recovery on vs off", func(frames int) (fmt.Stringer, error) {
 			return experiment.Chaos(frames, 7)
 		}},
+		{"obs", "observability: instrumented playback, spans and QoS metrics", func(frames int) (fmt.Stringer, error) {
+			res, err := experiment.Observe(frames, 42)
+			if err != nil {
+				return nil, err
+			}
+			return obsStringer{res: res, metrics: metrics, trace: trace}, nil
+		}},
 	}
 }
 
@@ -102,9 +131,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	frames := flag.Int("frames", 120, "stream length in frames")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metrics := flag.Bool("metrics", false, "print the full metric registry after the obs experiment")
+	trace := flag.Bool("trace", false, "print the span tree after the obs experiment")
 	flag.Parse()
 
-	rs := runners()
+	rs := runners(*metrics, *trace)
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-8s %s\n", r.name, r.desc)

@@ -5,6 +5,8 @@
 //	avdb> select SimpleNewscast where title contains "News"
 //	avdb> show 2
 //	avdb> devices
+//	avdb> trace 2
+//	avdb> stats
 //
 // Run one-shot commands with -c "cmd; cmd".
 package main
@@ -18,8 +20,13 @@ import (
 	"strings"
 	"time"
 
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
 	"avdb/internal/core"
 	"avdb/internal/media"
+	"avdb/internal/obs"
+	"avdb/internal/sched"
 	"avdb/internal/schema"
 	"avdb/internal/synth"
 )
@@ -73,6 +80,8 @@ func execute(db *core.Database, line string) error {
   class <Name>                    describe a class
   devices                         list platform devices
   similar <oid>                   rank newscasts by video similarity (QBPE)
+  trace <oid>                     play an object's videoTrack, print the span tree
+  stats                           print the database's metric registry
   help | quit
 `)
 	case line == "classes":
@@ -172,6 +181,14 @@ func execute(db *core.Database, line string) error {
 			}
 			fmt.Printf("  %v  distance %.3f  %s\n", m.OID, m.Distance, title)
 		}
+	case line == "stats":
+		fmt.Print(db.Obs().Snapshot().MetricsText())
+	case strings.HasPrefix(line, "trace "):
+		n, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "trace ")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace wants an OID")
+		}
+		return tracePlayback(db, schema.OID(n))
 	case strings.HasPrefix(line, "select"):
 		oids, err := db.Select(line)
 		if err != nil {
@@ -192,11 +209,64 @@ func execute(db *core.Database, line string) error {
 	return nil
 }
 
+// tracePlayback streams an object's videoTrack through a fresh session
+// and prints the span tree of just that playback.
+func tracePlayback(db *core.Database, oid schema.OID) error {
+	o, ok := db.Object(oid)
+	if !ok {
+		return fmt.Errorf("no object oid:%d", oid)
+	}
+	if _, ok := o.Get("videoTrack"); !ok {
+		return fmt.Errorf("%s has no videoTrack", o)
+	}
+	before := db.Obs().Tracer().Len()
+
+	sess, err := db.Connect("avdbsh", "lan0")
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	vr, err := activities.NewVideoReader("reader", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return err
+	}
+	window := activities.NewVideoWindow("window", activity.AtApplication, media.VideoQuality{}, 50*avtime.Millisecond)
+	window.Monitor().SetSink(db.Obs())
+	for _, a := range []activity.Activity{vr, window} {
+		if err := sess.Install(a, sched.Resources{}); err != nil {
+			return err
+		}
+	}
+	rate := media.MBPerSecond
+	if _, err := sess.Connect(vr, "out", window, "in", rate); err != nil {
+		return err
+	}
+	if err := sess.BindValue(oid, "videoTrack", vr, "out", rate); err != nil {
+		return err
+	}
+	pb, err := sess.Start()
+	if err != nil {
+		return err
+	}
+	if _, err := pb.Wait(); err != nil {
+		return err
+	}
+	sess.Close()
+
+	// Render only the spans this playback added.
+	all := db.Obs().Tracer().Spans()
+	snap := &obs.Snapshot{Spans: all[before:]}
+	fmt.Print(snap.TraceText())
+	fmt.Printf("%d frames shown, %s\n", window.FramesShown(), window.Monitor())
+	return nil
+}
+
 func demoDatabase() (*core.Database, error) {
 	db, err := core.OpenDefault("avdb-demo", core.PlatformConfig{Seed: 1})
 	if err != nil {
 		return nil, err
 	}
+	db.EnableObservability()
 	if _, err := db.DefineClass("MediaObject", "", []schema.AttrDef{
 		{Name: "title", Kind: schema.KindString},
 	}); err != nil {

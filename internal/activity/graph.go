@@ -6,6 +6,7 @@ import (
 
 	"avdb/internal/avtime"
 	"avdb/internal/netsim"
+	"avdb/internal/obs"
 	"avdb/internal/sched"
 )
 
@@ -20,6 +21,7 @@ type Connection struct {
 	to       Activity
 	toPort   *Port
 	net      *netsim.Conn
+	label    string // precomputed String(), reused for span names
 
 	mu        sync.Mutex
 	failSoft  bool
@@ -86,9 +88,7 @@ func (c *Connection) Chunks() int64 {
 }
 
 // String formats the connection.
-func (c *Connection) String() string {
-	return fmt.Sprintf("%s -> %s", c.fromPort, c.toPort)
-}
+func (c *Connection) String() string { return c.label }
 
 // outcome describes how one delivery attempt went.
 type outcome struct {
@@ -233,7 +233,10 @@ func (g *Graph) ConnectVia(from Activity, outPort string, to Activity, inPort st
 			return nil, fmt.Errorf("activity: %v already connected", tp)
 		}
 	}
-	conn := &Connection{from: from, fromPort: fp, to: to, toPort: tp, net: nc}
+	conn := &Connection{
+		from: from, fromPort: fp, to: to, toPort: tp, net: nc,
+		label: fmt.Sprintf("%s -> %s", fp, tp),
+	}
 	g.conns = append(g.conns, conn)
 	return conn, nil
 }
@@ -297,6 +300,13 @@ type RunConfig struct {
 	Clock    *sched.VirtualClock // required
 	Rate     avtime.Rate         // tick rate; defaults to 30Hz
 	MaxTicks int                 // safety bound; defaults to 10 million
+
+	// Obs, when non-nil, receives a playback span covering the run with
+	// nested activity, connection and chunk spans, plus the stream.* and
+	// sched.* metrics.  ObsParent nests the playback span under an
+	// enclosing span (e.g. a session).
+	Obs       obs.Sink
+	ObsParent obs.SpanID
 }
 
 // RunStats summarizes a completed run.
@@ -334,13 +344,57 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 	// A finished run leaves every activity quiescent so the graph can be
 	// cued and started again.
 	defer g.Stop()
+	conns := g.Connections()
 	incoming := make(map[string][]*Connection)
-	for _, c := range g.Connections() {
+	for _, c := range conns {
 		incoming[c.to.Name()] = append(incoming[c.to.Name()], c)
 	}
 
 	stats := &RunStats{}
 	startAt := cfg.Clock.Now()
+
+	// Observability: one playback span for the run, one activity span per
+	// node and one connection span per edge, all closed when Run returns
+	// on any path.  Every chunk delivery nests a chunk span under its
+	// connection.  All guards are nil checks so an uninstrumented run
+	// never touches the sink.
+	sink := cfg.Obs
+	var pbSpan obs.SpanID
+	var actSpans map[string]obs.SpanID
+	connSpans := map[*Connection]obs.SpanID{}
+	if sink != nil {
+		pbSpan = sink.BeginSpan(cfg.ObsParent, obs.KindPlayback, g.name, startAt)
+		actSpans = make(map[string]obs.SpanID, len(order))
+		for _, node := range order {
+			actSpans[node.Name()] = sink.BeginSpan(pbSpan, obs.KindActivity, node.Name(), startAt)
+		}
+		for _, c := range conns {
+			connSpans[c] = sink.BeginSpan(pbSpan, obs.KindConnection, c.label, startAt)
+		}
+		defer func() {
+			now := cfg.Clock.Now()
+			for _, c := range conns {
+				id := connSpans[c]
+				c.mu.Lock()
+				chunks, bytes := c.chunks, c.bytes
+				c.mu.Unlock()
+				sink.SpanAttr(id, "chunks", chunks)
+				sink.SpanAttr(id, "bytes", bytes)
+				sink.EndSpan(id, now)
+			}
+			for _, node := range order {
+				sink.EndSpan(actSpans[node.Name()], now)
+			}
+			sink.SpanAttr(pbSpan, "ticks", int64(stats.Ticks))
+			sink.EndSpan(pbSpan, now)
+			sink.Count("sched.ticks", int64(stats.Ticks))
+			sink.Count("stream.chunks", stats.Chunks)
+			sink.Count("stream.bytes", stats.BytesMoved)
+			sink.Count("stream.dropped", stats.ChunksDropped)
+			sink.Count("stream.corrupted", stats.ChunksCorrupted)
+			sink.Count("stream.transfer_failures", stats.TransferFailures)
+		}()
+	}
 	for tick := 0; tick < maxTicks; tick++ {
 		now := startAt + rate.DurationOf(avtime.ObjectTime(tick))
 		iv := avtime.Interval{Start: now, Dur: rate.UnitDuration()}
@@ -377,6 +431,12 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 				}
 				if oc.corrupted {
 					stats.ChunksCorrupted++
+				}
+				if sink != nil {
+					cs := sink.BeginSpan(connSpans[conn], obs.KindChunk, conn.label, src.At)
+					sink.SpanAttr(cs, "seq", int64(src.Seq))
+					sink.EndSpan(cs, oc.chunk.Arrived)
+					sink.Observe("stream.chunk_latency_us", int64(oc.chunk.Arrived-oc.chunk.At))
 				}
 				tc.SetIn(conn.toPort.Name(), oc.chunk)
 				stats.Chunks++

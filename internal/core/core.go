@@ -21,6 +21,7 @@ import (
 	"avdb/internal/device"
 	"avdb/internal/media"
 	"avdb/internal/netsim"
+	"avdb/internal/obs"
 	"avdb/internal/query"
 	"avdb/internal/sched"
 	"avdb/internal/schema"
@@ -68,6 +69,7 @@ type Database struct {
 	mu          sync.Mutex
 	nextSession int
 	segments    map[string]storage.SegID // "oid/attr[/track]" -> segment
+	obsC        *obs.Collector
 }
 
 // Open creates a database.  Devices and network links are registered
@@ -103,6 +105,48 @@ func Open(cfg Config) (*Database, error) {
 
 // Name returns the database's name.
 func (db *Database) Name() string { return db.name }
+
+// EnableObservability installs a collector across the database's
+// instrumentation points — admission control, the media store, the
+// device manager, and every network link registered so far — and
+// returns it.  Sessions opened afterwards trace their playbacks into
+// it.  Calling it again returns the same collector (links registered in
+// between are picked up).
+func (db *Database) EnableObservability() *obs.Collector {
+	db.mu.Lock()
+	if db.obsC == nil {
+		db.obsC = obs.NewCollector()
+	}
+	c := db.obsC
+	db.mu.Unlock()
+	db.admission.SetSink(c)
+	db.mediaSt.SetSink(c)
+	db.devices.SetSink(c)
+	for _, id := range db.network.Links() {
+		if l, ok := db.network.Link(id); ok {
+			l.SetSink(c)
+		}
+	}
+	return c
+}
+
+// Obs returns the installed collector, or nil when observability was
+// never enabled.
+func (db *Database) Obs() *obs.Collector {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.obsC
+}
+
+// sink returns the collector as a Sink, or a nil interface when
+// observability is off (never a non-nil interface holding a nil
+// pointer, which instrumentation nil checks would mistake for live).
+func (db *Database) sink() obs.Sink {
+	if c := db.Obs(); c != nil {
+		return c
+	}
+	return nil
+}
 
 // Devices returns the platform device manager.
 func (db *Database) Devices() *device.Manager { return db.devices }

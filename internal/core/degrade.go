@@ -119,5 +119,8 @@ func (s *Session) degradeOnce(spec DegradeSpec, info activity.EventInfo) error {
 	if em, ok := spec.Source.(eventEmitter); ok {
 		em.Emit(activity.EventInfo{Event: activity.EventDegraded, Activity: spec.Source.Name(), At: info.At})
 	}
+	if sink := s.db.sink(); sink != nil {
+		sink.Count("stream.degraded", 1)
+	}
 	return nil
 }

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"avdb/internal/activity"
 	"avdb/internal/avtime"
 	"avdb/internal/media"
 	"avdb/internal/netsim"
+	"avdb/internal/obs"
 	"avdb/internal/sched"
 	"avdb/internal/schema"
 	"avdb/internal/storage"
@@ -33,6 +36,7 @@ type Session struct {
 	devices  []string
 	playback *Playback
 	closed   bool
+	span     obs.SpanID // session span when observability is on
 }
 
 // Connect opens a session for a client reachable over the given network
@@ -46,10 +50,15 @@ func (db *Database) Connect(client, linkID string) (*Session, error) {
 	db.nextSession++
 	id := fmt.Sprintf("%s/session-%d", db.name, db.nextSession)
 	db.mu.Unlock()
-	return &Session{
+	s := &Session{
 		db: db, id: id, client: client, link: link,
 		graph: activity.NewGraph(id),
-	}, nil
+	}
+	if sink := db.sink(); sink != nil {
+		s.span = sink.BeginSpan(obs.NoSpan, obs.KindSession, id, db.clock.Now())
+		sink.Count("session.opened", 1)
+	}
+	return s, nil
 }
 
 // ID returns the session's identifier.
@@ -268,13 +277,21 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 	}
 	p := &Playback{graph: s.graph, done: make(chan struct{})}
 	s.playback = p
-	go func() {
-		stats, err := s.graph.Run(activity.RunConfig{Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks})
+	cfg := activity.RunConfig{
+		Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks,
+		Obs: s.db.sink(), ObsParent: s.span,
+	}
+	// The playback goroutine carries pprof labels so CPU and goroutine
+	// profiles of a busy database attribute samples to the session and
+	// graph that caused them.
+	labels := pprof.Labels("avdb_session", s.id, "avdb_graph", s.graph.Name())
+	go pprof.Do(context.Background(), labels, func(context.Context) {
+		stats, err := s.graph.Run(cfg)
 		p.mu.Lock()
 		p.stats, p.err = stats, err
 		p.mu.Unlock()
 		close(p.done)
-	}()
+	})
 	return p, nil
 }
 
@@ -326,6 +343,10 @@ func (s *Session) Close() {
 		st.Close()
 	}
 	s.db.devices.ReleaseAll(s.id)
+	if sink := s.db.sink(); sink != nil {
+		sink.EndSpan(s.span, s.db.clock.Now())
+		sink.Count("session.closed", 1)
+	}
 }
 
 // Link returns the session's network link.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"avdb/internal/obs"
 )
 
 // ErrHeld is wrapped by acquisition failures on exclusive devices.
@@ -18,6 +20,15 @@ type Manager struct {
 	mu      sync.Mutex
 	devices map[string]Device
 	holders map[string]string // device id -> owner
+	sink    obs.Sink
+}
+
+// SetSink installs an observability sink.  Exclusive-device arbitration
+// emits device.acquired / acquire_denied / released counters.
+func (m *Manager) SetSink(s obs.Sink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
 }
 
 // NewManager returns an empty device manager.
@@ -87,9 +98,15 @@ func (m *Manager) Acquire(id, owner string) error {
 		return nil
 	}
 	if h, held := m.holders[id]; held && h != owner {
+		if m.sink != nil {
+			m.sink.Count("device.acquire_denied", 1)
+		}
 		return fmt.Errorf("%w: %q held by %q", ErrHeld, id, h)
 	}
 	m.holders[id] = owner
+	if m.sink != nil {
+		m.sink.Count("device.acquired", 1)
+	}
 	return nil
 }
 
@@ -109,6 +126,9 @@ func (m *Manager) Release(id, owner string) error {
 		return fmt.Errorf("device: %q not held by %q", id, owner)
 	}
 	delete(m.holders, id)
+	if m.sink != nil {
+		m.sink.Count("device.released", 1)
+	}
 	return nil
 }
 
@@ -140,6 +160,9 @@ func (m *Manager) ReleaseAll(owner string) {
 	for id, h := range m.holders {
 		if h == owner {
 			delete(m.holders, id)
+			if m.sink != nil {
+				m.sink.Count("device.released", 1)
+			}
 		}
 	}
 }

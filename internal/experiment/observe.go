@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/fault"
+	"avdb/internal/media"
+	"avdb/internal/obs"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+)
+
+// Observe fault parameters: a light, seeded campaign that exercises the
+// fault counters without killing the stream — transient reads in the
+// first quarter (retried), and chunk loss throughout (absorbed by a
+// fail-soft connection).
+const (
+	obsTransientP = 0.10
+	obsLossP      = 0.05
+	obsTolerance  = 100 * avtime.Millisecond
+	obsThreshold  = 3
+)
+
+// ObserveResult is one fully instrumented playback: the run statistics
+// plus the observability snapshot that reconstructs it.
+type ObserveResult struct {
+	Frames int
+	Seed   int64
+	Stats  *activity.RunStats
+	Snap   *obs.Snapshot
+}
+
+// Observe streams a stored clip from disk0 over lan0 with the
+// observability layer enabled end to end: the session, playback,
+// activity, connection and chunk spans land in the trace, and the
+// admission, storage, network, deadline and fault metrics land in the
+// registry.  Everything is keyed to the virtual clock and seeded, so
+// two runs with the same arguments render byte-identical snapshots.
+func Observe(frames int, seed int64) (*ObserveResult, error) {
+	db, err := core.OpenDefault("observe", core.PlatformConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	collector := db.EnableObservability()
+
+	if _, err := db.DefineClass("Clip", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "video", Kind: schema.KindMedia, MediaKind: media.KindVideo},
+	}); err != nil {
+		return nil, err
+	}
+	obj, err := db.NewObject("Clip")
+	if err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(obj.OID(), "title", schema.String("observe")); err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(obj.OID(), "video", schema.Media(stdClip(frames, seed))); err != nil {
+		return nil, err
+	}
+	q := stdQuality()
+	rate := q.DataRate()
+	if _, err := db.PlaceMedia(obj.OID(), "video", "disk0", rate); err != nil {
+		return nil, err
+	}
+
+	total := avtime.WorldTime(frames) * avtime.Second / clipFPS
+	plan := fault.NewPlan(seed).
+		MustAdd(fault.Fault{Kind: fault.TransientRead, Target: "disk0", Start: 0, Dur: total / 4, Probability: obsTransientP}).
+		MustAdd(fault.Fault{Kind: fault.ChunkLoss, Target: "lan0", Start: 0, Dur: total, Probability: obsLossP})
+	inj := fault.NewInjector(plan, db.Clock())
+	inj.SetSink(collector)
+	db.Devices().SetFaultHook(inj)
+	link, ok := db.Network().Link("lan0")
+	if !ok {
+		return nil, fmt.Errorf("experiment: default platform lost lan0")
+	}
+	link.SetFaultHook(inj)
+
+	sess, err := db.Connect("observe-app", "lan0")
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	vr, err := activities.NewVideoReader("reader", activity.AtDatabase, media.TypeRawVideo30)
+	if err != nil {
+		return nil, err
+	}
+	vr.SetRetry(fault.DefaultRetry)
+	window := activities.NewVideoWindow("window", activity.AtApplication, media.VideoQuality{}, obsTolerance)
+	window.Monitor().SetSink(collector)
+	window.EnableStallDetection(obsTolerance, obsThreshold).SetSink(collector)
+	for _, a := range []activity.Activity{vr, window} {
+		if err := sess.Install(a, sched.Resources{}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Admission().Reserve(core.ResourcesForVideo(q)); err != nil {
+		return nil, err
+	}
+	conn, err := sess.Connect(vr, "out", window, "in", rate)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetFailSoft(true)
+	if err := sess.BindValue(obj.OID(), "video", vr, "out", rate); err != nil {
+		return nil, err
+	}
+
+	pb, err := sess.Start()
+	if err != nil {
+		return nil, err
+	}
+	stats, err := pb.Wait()
+	if err != nil {
+		return nil, err
+	}
+	sess.Close()
+
+	return &ObserveResult{Frames: frames, Seed: seed, Stats: stats, Snap: collector.Snapshot()}, nil
+}
+
+// String summarizes the instrumented run; the full snapshot is rendered
+// separately via Snap.MetricsText / Snap.TraceText.
+func (r *ObserveResult) String() string {
+	s := fmt.Sprintf("Observe: instrumented playback of %d frames, seed %d\n\n", r.Frames, r.Seed)
+	header := []string{"measure", "value"}
+	lat := r.Snap.Histogram("stream.chunk_latency_us")
+	latMean := avtime.WorldTime(0)
+	if lat != nil {
+		latMean = avtime.WorldTime(int64(lat.Mean()))
+	}
+	usedBuf, _ := r.Snap.Gauge("admission.used_buffers")
+	rows := [][]string{
+		{"spans recorded", fmt.Sprint(len(r.Snap.Spans))},
+		{"chunks delivered", fmt.Sprint(r.Snap.Counter("stream.chunks"))},
+		{"bytes delivered", fmt.Sprint(r.Snap.Counter("stream.bytes"))},
+		{"chunks dropped", fmt.Sprint(r.Snap.Counter("stream.dropped"))},
+		{"mean chunk latency", fmt.Sprint(latMean)},
+		{"deadlines presented", fmt.Sprint(r.Snap.Counter("deadline.presented"))},
+		{"deadlines missed", fmt.Sprint(r.Snap.Counter("deadline.missed"))},
+		{"storage reads", fmt.Sprint(r.Snap.Counter("storage.reads"))},
+		{"read faults (retried)", fmt.Sprint(r.Snap.Counter("storage.read_faults"))},
+		{"faults injected (loss)", fmt.Sprint(r.Snap.Counter("fault.injected.chunk-loss"))},
+		{"admission buffers held", fmt.Sprint(usedBuf)},
+	}
+	s += table(header, rows)
+	s += "\nrun `avbench -exp obs -metrics -trace` for the full snapshot\n"
+	return s
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObserveSnapshotDeterministic is the acceptance criterion for the
+// observability layer: the same seed must render a byte-identical
+// snapshot — spans, counters, gauges and histograms — across runs.
+// Everything downstream (golden files, avbench output diffs) rests on
+// this.
+func TestObserveSnapshotDeterministic(t *testing.T) {
+	a, err := Observe(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Observe(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, bt := a.Snap.Text(), b.Snap.Text(); at != bt {
+		t.Errorf("snapshot text differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", at, bt)
+	}
+	aj, err := a.Snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Error("snapshot JSON differs between identical runs")
+	}
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Errorf("summary differs between identical runs:\n%s\nvs\n%s", as, bs)
+	}
+}
+
+// TestObserveCapturesAllSurfaces checks that one instrumented playback
+// lands data in every metric family the layer advertises.
+func TestObserveCapturesAllSurfaces(t *testing.T) {
+	res, err := Observe(90, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snap
+	if len(snap.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// Exactly one session span, one playback span nested under it.
+	var sessions, playbacks int
+	for _, sp := range snap.Spans {
+		switch sp.Kind {
+		case "session":
+			sessions++
+		case "playback":
+			playbacks++
+		}
+		if sp.Open {
+			t.Errorf("span %d %q left open", sp.ID, sp.Name)
+		}
+	}
+	if sessions != 1 || playbacks != 1 {
+		t.Errorf("got %d session, %d playback spans; want 1 each", sessions, playbacks)
+	}
+	for _, counter := range []string{
+		"session.opened", "session.closed",
+		"stream.chunks", "stream.bytes",
+		"storage.reads", "storage.read_bytes",
+		"sched.ticks",
+		"deadline.presented",
+	} {
+		if snap.Counter(counter) == 0 {
+			t.Errorf("counter %s never incremented", counter)
+		}
+	}
+	for _, gauge := range []string{
+		"admission.total_buffers", "admission.used_buffers",
+		"admission.total_cpu", "admission.total_bus",
+	} {
+		if _, ok := snap.Gauge(gauge); !ok {
+			t.Errorf("gauge %s never set", gauge)
+		}
+	}
+	for _, hist := range []string{
+		"stream.chunk_latency_us", "storage.read_time_us", "deadline.lateness_us",
+	} {
+		h := snap.Histogram(hist)
+		if h == nil || h.N == 0 {
+			t.Errorf("histogram %s has no observations", hist)
+		}
+	}
+	// Network metrics carry the link id prefix.
+	if snap.Counter("net.lan0.transfers") == 0 {
+		t.Error("net.lan0.transfers never incremented")
+	}
+	// The rendered summary mentions its own follow-up command.
+	if !strings.Contains(res.String(), "avbench -exp obs") {
+		t.Error("summary lost its usage hint")
+	}
+}

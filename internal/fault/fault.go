@@ -24,6 +24,7 @@ import (
 	"avdb/internal/avtime"
 	"avdb/internal/device"
 	"avdb/internal/netsim"
+	"avdb/internal/obs"
 	"avdb/internal/sched"
 )
 
@@ -63,6 +64,18 @@ var kindNames = [...]string{
 	LinkPartition: "link-partition",
 	ChunkLoss:     "chunk-loss",
 	ChunkCorrupt:  "chunk-corrupt",
+}
+
+// kindMetrics holds the precomputed fault.injected.<kind> counter names
+// so the injection paths never format strings.
+var kindMetrics = [...]string{
+	TransientRead: "fault.injected.transient-read",
+	DeviceOutage:  "fault.injected.device-outage",
+	DiscSwapFail:  "fault.injected.disc-swap-fail",
+	LinkDegrade:   "fault.injected.link-degrade",
+	LinkPartition: "fault.injected.link-partition",
+	ChunkLoss:     "fault.injected.chunk-loss",
+	ChunkCorrupt:  "fault.injected.chunk-corrupt",
 }
 
 // String returns the kind's name.
@@ -181,6 +194,23 @@ type Injector struct {
 	faults []Fault
 	rngs   []*rand.Rand // one per fault, seeded plan.seed + index
 	counts map[Kind]int64
+	sink   obs.Sink
+}
+
+// SetSink installs an observability sink.  Every injection bumps its
+// fault.injected.<kind> counter.
+func (in *Injector) SetSink(s obs.Sink) {
+	in.mu.Lock()
+	in.sink = s
+	in.mu.Unlock()
+}
+
+// bump records one injection of kind k; callers hold in.mu.
+func (in *Injector) bump(k Kind) {
+	in.counts[k]++
+	if in.sink != nil {
+		in.sink.Count(kindMetrics[k], 1)
+	}
 }
 
 // NewInjector returns an injector evaluating the plan's windows against
@@ -212,11 +242,11 @@ func (in *Injector) BeforeRead(deviceID string, bytes int64) (avtime.WorldTime, 
 		}
 		switch f.Kind {
 		case DeviceOutage:
-			in.counts[DeviceOutage]++
+			in.bump(DeviceOutage)
 			return 0, fmt.Errorf("fault: %q down at %v: %w", deviceID, now, device.ErrDeviceFailed)
 		case TransientRead:
 			if in.rngs[i].Float64() < f.Probability {
-				in.counts[TransientRead]++
+				in.bump(TransientRead)
 				return 0, fmt.Errorf("fault: %q read fault at %v: %w", deviceID, now, device.ErrTransientRead)
 			}
 		}
@@ -234,7 +264,7 @@ func (in *Injector) BeforeSwap(deviceID string, disc int) error {
 			continue
 		}
 		if in.rngs[i].Float64() < f.Probability {
-			in.counts[DiscSwapFail]++
+			in.bump(DiscSwapFail)
 			return fmt.Errorf("fault: %q swap to disc %d jammed at %v: %w", deviceID, disc, now, device.ErrTransientRead)
 		}
 	}
@@ -253,21 +283,21 @@ func (in *Injector) TransferFault(linkID string, bytes int64) netsim.TransferFau
 		}
 		switch f.Kind {
 		case LinkPartition:
-			in.counts[LinkPartition]++
+			in.bump(LinkPartition)
 			out.Down = true
 		case LinkDegrade:
 			if slow := 1 / f.Factor; slow > out.SlowFactor {
 				out.SlowFactor = slow
 			}
-			in.counts[LinkDegrade]++
+			in.bump(LinkDegrade)
 		case ChunkLoss:
 			if in.rngs[i].Float64() < f.Probability {
-				in.counts[ChunkLoss]++
+				in.bump(ChunkLoss)
 				out.Drop = true
 			}
 		case ChunkCorrupt:
 			if in.rngs[i].Float64() < f.Probability {
-				in.counts[ChunkCorrupt]++
+				in.bump(ChunkCorrupt)
 				out.Corrupt = true
 			}
 		}

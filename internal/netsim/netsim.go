@@ -20,6 +20,7 @@ import (
 
 	"avdb/internal/avtime"
 	"avdb/internal/media"
+	"avdb/internal/obs"
 )
 
 // ErrBandwidth is wrapped by connection-admission failures.
@@ -69,6 +70,11 @@ type Link struct {
 	seed     int64
 	nextConn int
 	hook     FaultHook
+
+	sink obs.Sink
+	// Metric names are precomputed at SetSink time so the transfer path
+	// never formats strings.
+	mTransfers, mBytes, mDropped, mCorrupted, mDown string
 }
 
 // NewLink returns a link with the given capacity, propagation latency and
@@ -98,6 +104,23 @@ func (l *Link) MaxJitter() avtime.WorldTime { return l.maxJitter }
 func (l *Link) SetFaultHook(h FaultHook) {
 	l.mu.Lock()
 	l.hook = h
+	l.mu.Unlock()
+}
+
+// SetSink installs an observability sink.  Transfers over the link emit
+// net.<id>.transfers / bytes / dropped / corrupted / down counters; nil
+// clears the sink.
+func (l *Link) SetSink(s obs.Sink) {
+	l.mu.Lock()
+	l.sink = s
+	if s != nil && l.mTransfers == "" {
+		prefix := "net." + l.id + "."
+		l.mTransfers = prefix + "transfers"
+		l.mBytes = prefix + "bytes"
+		l.mDropped = prefix + "dropped"
+		l.mCorrupted = prefix + "corrupted"
+		l.mDown = prefix + "down"
+	}
 	l.mu.Unlock()
 }
 
@@ -194,16 +217,33 @@ func (c *Conn) TransferChunk(bytes int64) (Delivery, error) {
 	}
 	c.link.mu.Lock()
 	hook := c.link.hook
+	sink := c.link.sink
+	// Copy the precomputed metric names while the lock is held.
+	mTransfers, mBytes := c.link.mTransfers, c.link.mBytes
+	mDropped, mCorrupted, mDown := c.link.mDropped, c.link.mCorrupted, c.link.mDown
 	c.link.mu.Unlock()
 	var f TransferFault
 	if hook != nil {
 		f = hook.TransferFault(c.link.id, bytes)
 	}
 	if f.Down {
+		if sink != nil {
+			sink.Count(mDown, 1)
+		}
 		return Delivery{}, fmt.Errorf("%w: link %q", ErrLinkDown, c.link.id)
 	}
 	c.bytes += bytes
 	c.messages++
+	if sink != nil {
+		sink.Count(mTransfers, 1)
+		sink.Count(mBytes, bytes)
+		if f.Drop {
+			sink.Count(mDropped, 1)
+		}
+		if f.Corrupt {
+			sink.Count(mCorrupted, 1)
+		}
+	}
 	ser := avtime.WorldTime(bytes * int64(avtime.Second) / int64(c.rate))
 	if f.SlowFactor > 1 {
 		ser = avtime.WorldTime(float64(ser) * f.SlowFactor)

@@ -1,0 +1,86 @@
+// Package obs is the AV database's observability subsystem: span-based
+// tracing keyed to the virtual presentation clock, a metrics registry
+// (counters, gauges, fixed-bucket histograms), and deterministic export
+// surfaces.
+//
+// The paper's client interface is asynchronous and stream-based (§3.3):
+// clients start transfers and learn what happened through event
+// notifications.  That makes visibility into scheduling, data rates and
+// deadline misses a first-class database concern — a playback must be
+// reconstructible after the fact as nested spans (session → playback →
+// connection → chunk) and summarized as per-stream QoS metrics.
+//
+// Everything is measured in world time read from the virtual clock, so
+// two runs of the same seeded workload produce byte-identical traces and
+// metric snapshots: there is no wall-clock nondeterminism anywhere in
+// the subsystem.
+//
+// Instrumentation points across the pipeline accept a Sink.  A nil Sink
+// disables instrumentation entirely; the NopSink discards everything
+// while exercising the call path.  Both keep hot paths allocation-free
+// (benchmark-verified in the activity package), so observability costs
+// nothing until it is switched on.
+package obs
+
+import "avdb/internal/avtime"
+
+// SpanID identifies one span within a Tracer.  IDs are assigned
+// sequentially from 1; NoSpan (zero) is "no parent" / "not recorded".
+type SpanID int64
+
+// NoSpan is the zero SpanID: no parent, or tracing disabled.
+const NoSpan SpanID = 0
+
+// Span kinds used by the pipeline.  The nesting is
+// session → playback → activity/connection → chunk.
+const (
+	KindSession    = "session"
+	KindPlayback   = "playback"
+	KindActivity   = "activity"
+	KindConnection = "connection"
+	KindChunk      = "chunk"
+)
+
+// Sink receives instrumentation from the pipeline.  Implementations must
+// be safe for concurrent use; all times are world times read from the
+// caller's clock.  The Collector is the recording implementation and
+// NopSink the discarding one.
+type Sink interface {
+	// BeginSpan opens a span under parent (NoSpan for a root) and
+	// returns its ID.
+	BeginSpan(parent SpanID, kind, name string, at avtime.WorldTime) SpanID
+	// EndSpan closes an open span.  Ending NoSpan or an already-ended
+	// span is a no-op.
+	EndSpan(id SpanID, at avtime.WorldTime)
+	// SpanAttr attaches an integer attribute to an open span.
+	SpanAttr(id SpanID, key string, value int64)
+	// Count adds delta to the named counter.
+	Count(name string, delta int64)
+	// SetGauge sets the named gauge.
+	SetGauge(name string, value int64)
+	// Observe records one value into the named histogram.
+	Observe(name string, value int64)
+}
+
+// NopSink is a Sink that records nothing.  The zero value is ready to
+// use; its methods never allocate, making it the cheapest way to keep
+// instrumented call sites exercised without collecting anything.
+type NopSink struct{}
+
+// BeginSpan implements Sink.
+func (NopSink) BeginSpan(SpanID, string, string, avtime.WorldTime) SpanID { return NoSpan }
+
+// EndSpan implements Sink.
+func (NopSink) EndSpan(SpanID, avtime.WorldTime) {}
+
+// SpanAttr implements Sink.
+func (NopSink) SpanAttr(SpanID, string, int64) {}
+
+// Count implements Sink.
+func (NopSink) Count(string, int64) {}
+
+// SetGauge implements Sink.
+func (NopSink) SetGauge(string, int64) {}
+
+// Observe implements Sink.
+func (NopSink) Observe(string, int64) {}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+
+	"avdb/internal/avtime"
+)
+
+// Attr is one integer span attribute in insertion order.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Span is one recorded span.  Start and End are world times; an open
+// span has Open true and End equal to its start.
+type Span struct {
+	ID     SpanID           `json:"id"`
+	Parent SpanID           `json:"parent,omitempty"`
+	Kind   string           `json:"kind"`
+	Name   string           `json:"name"`
+	Start  avtime.WorldTime `json:"start"`
+	End    avtime.WorldTime `json:"end"`
+	Open   bool             `json:"open,omitempty"`
+	Attrs  []Attr           `json:"attrs,omitempty"`
+}
+
+// Dur reports the span's world-time extent.
+func (s Span) Dur() avtime.WorldTime { return s.End - s.Start }
+
+// Tracer records spans.  IDs are assigned in call order, so a
+// single-goroutine workload (the discrete-event graph runner) produces
+// identical traces on every run.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	index map[SpanID]int // id -> position in spans
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{index: make(map[SpanID]int)}
+}
+
+// Begin opens a span under parent (NoSpan for a root).
+func (t *Tracer) Begin(parent SpanID, kind, name string, at avtime.WorldTime) SpanID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name,
+		Start: at, End: at, Open: true,
+	})
+	t.index[id] = len(t.spans) - 1
+	return id
+}
+
+// End closes a span.  Ending NoSpan, an unknown span, or a span that is
+// already closed is a no-op.
+func (t *Tracer) End(id SpanID, at avtime.WorldTime) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.index[id]
+	if !ok || !t.spans[i].Open {
+		return
+	}
+	t.spans[i].Open = false
+	if at > t.spans[i].Start {
+		t.spans[i].End = at
+	}
+}
+
+// Attr attaches an integer attribute to a span.  Unknown spans are
+// ignored; attributes may be added to closed spans (e.g. totals stamped
+// after the fact).
+func (t *Tracer) Attr(id SpanID, key string, value int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.index[id]
+	if !ok {
+		return
+	}
+	t.spans[i].Attrs = append(t.spans[i].Attrs, Attr{Key: key, Value: value})
+}
+
+// Spans returns a copy of the recorded spans in ID order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].Attrs = append([]Attr(nil), out[i].Attrs...)
+	}
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

@@ -108,7 +108,7 @@ func (p *Pred) String() string {
 func (p *Pred) check(c *schema.Class) error {
 	attr, ok := c.Attr(p.Attr)
 	if !ok {
-		return fmt.Errorf("query: class %s has no attribute %q", c.Name(), p.Attr)
+		return fmt.Errorf("%w: class %s has no attribute %q", ErrNoAttr, c.Name(), p.Attr)
 	}
 	d, err := resolveLiteral(p.Lit, attr.Kind)
 	if err != nil {
@@ -118,17 +118,17 @@ func (p *Pred) check(c *schema.Class) error {
 	switch p.Op {
 	case OpEq, OpNe:
 		if attr.Kind == schema.KindMedia || attr.Kind == schema.KindTComp {
-			return fmt.Errorf("query: attribute %q of kind %v cannot be compared", p.Attr, attr.Kind)
+			return fmt.Errorf("%w: attribute %q of kind %v cannot be compared", ErrType, p.Attr, attr.Kind)
 		}
 	case OpLt, OpLe, OpGt, OpGe:
 		switch attr.Kind {
 		case schema.KindString, schema.KindInt, schema.KindFloat, schema.KindDate:
 		default:
-			return fmt.Errorf("query: attribute %q of kind %v is not ordered", p.Attr, attr.Kind)
+			return fmt.Errorf("%w: attribute %q of kind %v is not ordered", ErrType, p.Attr, attr.Kind)
 		}
 	case OpContains:
 		if attr.Kind != schema.KindString {
-			return fmt.Errorf("query: contains needs a String attribute, %q is %v", p.Attr, attr.Kind)
+			return fmt.Errorf("%w: contains needs a String attribute, %q is %v", ErrType, p.Attr, attr.Kind)
 		}
 	}
 	return nil
@@ -138,25 +138,25 @@ func resolveLiteral(lit Literal, kind schema.AttrKind) (schema.Datum, error) {
 	switch kind {
 	case schema.KindString:
 		if lit.kind != tokString {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a string literal", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a string literal", ErrType, lit.text)
 		}
 		return schema.String(lit.text), nil
 	case schema.KindInt:
 		if lit.kind != tokNumber {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a number", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a number", ErrType, lit.text)
 		}
 		var v int64
 		if _, err := fmt.Sscanf(lit.text, "%d", &v); err != nil {
-			return schema.Datum{}, fmt.Errorf("query: %q is not an integer", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not an integer", ErrType, lit.text)
 		}
 		return schema.Int(v), nil
 	case schema.KindFloat:
 		if lit.kind != tokNumber {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a number", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a number", ErrType, lit.text)
 		}
 		var v float64
 		if _, err := fmt.Sscanf(lit.text, "%g", &v); err != nil {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a float", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a float", ErrType, lit.text)
 		}
 		return schema.Float(v), nil
 	case schema.KindBool:
@@ -166,19 +166,19 @@ func resolveLiteral(lit Literal, kind schema.AttrKind) (schema.Datum, error) {
 		case "false":
 			return schema.Bool(false), nil
 		}
-		return schema.Datum{}, fmt.Errorf("query: %q is not a boolean", lit.text)
+		return schema.Datum{}, fmt.Errorf("%w: %q is not a boolean", ErrType, lit.text)
 	case schema.KindDate:
 		text := lit.text
 		if lit.kind != tokDate && lit.kind != tokString {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a date", lit.text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a date", ErrType, lit.text)
 		}
 		t, err := time.Parse("2006-01-02", text)
 		if err != nil {
-			return schema.Datum{}, fmt.Errorf("query: %q is not a date (want YYYY-MM-DD)", text)
+			return schema.Datum{}, fmt.Errorf("%w: %q is not a date (want YYYY-MM-DD)", ErrType, text)
 		}
 		return schema.Date(t), nil
 	}
-	return schema.Datum{}, fmt.Errorf("query: attribute kind %v has no literals", kind)
+	return schema.Datum{}, fmt.Errorf("%w: attribute kind %v has no literals", ErrType, kind)
 }
 
 func (p *Pred) eval(o *schema.Object) bool {

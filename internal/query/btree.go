@@ -333,20 +333,20 @@ func (t *btree) checkInvariants() error {
 		return true
 	})
 	if !ok {
-		return fmt.Errorf("query: btree ordering or occupancy violated")
+		return fmt.Errorf("%w: btree ordering or occupancy violated", ErrCorrupt)
 	}
 	return t.root.checkOccupancy(true)
 }
 
 func (n *btreeNode) checkOccupancy(isRoot bool) error {
 	if !isRoot && len(n.items) < btreeDegree-1 {
-		return fmt.Errorf("query: btree node underflow: %d items", len(n.items))
+		return fmt.Errorf("%w: btree node underflow: %d items", ErrCorrupt, len(n.items))
 	}
 	if len(n.items) > 2*btreeDegree-1 {
-		return fmt.Errorf("query: btree node overflow: %d items", len(n.items))
+		return fmt.Errorf("%w: btree node overflow: %d items", ErrCorrupt, len(n.items))
 	}
 	if !n.leaf() && len(n.children) != len(n.items)+1 {
-		return fmt.Errorf("query: btree child count %d for %d items", len(n.children), len(n.items))
+		return fmt.Errorf("%w: btree child count %d for %d items", ErrCorrupt, len(n.children), len(n.items))
 	}
 	if !n.leaf() {
 		for _, c := range n.children {

@@ -1,0 +1,33 @@
+package query
+
+import "errors"
+
+// Sentinel errors for the query subsystem.  Every error the package
+// returns wraps exactly one of these, so callers branch with errors.Is
+// instead of matching message text:
+//
+//	if errors.Is(err, query.ErrSyntax) { ... reprompt the user ... }
+var (
+	// ErrSyntax marks lexical and grammatical failures: the input never
+	// became a well-formed query.
+	ErrSyntax = errors.New("query: syntax error")
+
+	// ErrNoClass marks a query or index request naming an undefined class.
+	ErrNoClass = errors.New("query: no such class")
+
+	// ErrNoAttr marks a predicate or index request naming an attribute
+	// the class does not define.
+	ErrNoAttr = errors.New("query: no such attribute")
+
+	// ErrType marks semantic failures: a well-formed query whose
+	// operator, literal or index kind does not fit the attribute's type.
+	ErrType = errors.New("query: type error")
+
+	// ErrIndex marks index-management failures: duplicate definitions,
+	// plans referencing dropped indexes, operators an index cannot serve.
+	ErrIndex = errors.New("query: index error")
+
+	// ErrCorrupt marks a structural invariant violation detected inside
+	// an index; it indicates a bug, not bad input.
+	ErrCorrupt = errors.New("query: index corrupt")
+)

@@ -96,7 +96,7 @@ func (ix *Index) Range(lo, hi *schema.Datum, loIncl, hiIncl bool) ([]schema.OID,
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if ix.kind != BTreeIndex {
-		return nil, fmt.Errorf("query: %v index on %s.%s cannot serve ranges", ix.kind, ix.class.Name(), ix.attr)
+		return nil, fmt.Errorf("%w: %v index on %s.%s cannot serve ranges", ErrIndex, ix.kind, ix.class.Name(), ix.attr)
 	}
 	var out []schema.OID
 	ix.tree.ascend(lo, hi, loIncl, hiIncl, func(_ schema.Datum, oids []schema.OID) bool {
@@ -128,25 +128,25 @@ func indexName(class, attr string) string { return class + "." + attr }
 func (e *Engine) CreateIndex(className, attr string, kind IndexKind) (*Index, error) {
 	c, ok := e.schema.Class(className)
 	if !ok {
-		return nil, fmt.Errorf("query: no class %q", className)
+		return nil, fmt.Errorf("%w: %q", ErrNoClass, className)
 	}
 	def, ok := c.Attr(attr)
 	if !ok {
-		return nil, fmt.Errorf("query: class %s has no attribute %q", className, attr)
+		return nil, fmt.Errorf("%w: class %s has no attribute %q", ErrNoAttr, className, attr)
 	}
 	switch def.Kind {
 	case schema.KindString, schema.KindInt, schema.KindFloat, schema.KindDate, schema.KindBool:
 	default:
-		return nil, fmt.Errorf("query: cannot index %v attribute %q", def.Kind, attr)
+		return nil, fmt.Errorf("%w: cannot index %v attribute %q", ErrType, def.Kind, attr)
 	}
 	if kind == BTreeIndex && def.Kind == schema.KindBool {
-		return nil, fmt.Errorf("query: boolean attributes take hash indexes only")
+		return nil, fmt.Errorf("%w: boolean attributes take hash indexes only", ErrType)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	name := indexName(className, attr)
 	if _, dup := e.indexes[name]; dup {
-		return nil, fmt.Errorf("query: index %s already exists", name)
+		return nil, fmt.Errorf("%w: index %s already exists", ErrIndex, name)
 	}
 	ix := &Index{class: c, attr: attr, kind: kind}
 	if kind == HashIndex {
@@ -229,7 +229,7 @@ func (p *Plan) String() string {
 func (e *Engine) Prepare(q *Query) (*Plan, error) {
 	c, ok := e.schema.Class(q.ClassName)
 	if !ok {
-		return nil, fmt.Errorf("query: no class %q", q.ClassName)
+		return nil, fmt.Errorf("%w: %q", ErrNoClass, q.ClassName)
 	}
 	p := &Plan{Class: c, Where: q.Where}
 	if q.Where == nil {
@@ -296,7 +296,7 @@ func (e *Engine) Execute(plan *Plan) ([]schema.OID, error) {
 	if plan.IndexUsed != "" {
 		ix, ok := e.Index(plan.Class.Name(), plan.IndexPred.Attr)
 		if !ok {
-			return nil, fmt.Errorf("query: plan references missing index %s", plan.IndexUsed)
+			return nil, fmt.Errorf("%w: plan references missing index %s", ErrIndex, plan.IndexUsed)
 		}
 		var err error
 		candidates, err = indexCandidates(ix, plan.IndexPred)
@@ -336,5 +336,5 @@ func indexCandidates(ix *Index, pred *Pred) ([]schema.OID, error) {
 	case OpGe:
 		return ix.Range(&pred.datum, nil, true, true)
 	}
-	return nil, fmt.Errorf("query: operator %v cannot use an index", pred.Op)
+	return nil, fmt.Errorf("%w: operator %v cannot use an index", ErrIndex, pred.Op)
 }

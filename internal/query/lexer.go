@@ -73,7 +73,7 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{tokOp, "!=", i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("query: stray '!' at offset %d", i)
+				return nil, fmt.Errorf("%w: stray '!' at offset %d", ErrSyntax, i)
 			}
 		case c == '<' || c == '>':
 			op := string(c)
@@ -94,7 +94,7 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j >= len(src) {
-				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+				return nil, fmt.Errorf("%w: unterminated string at offset %d", ErrSyntax, i)
 			}
 			toks = append(toks, token{tokString, sb.String(), i})
 			i = j + 1
@@ -111,7 +111,7 @@ func lex(src string) ([]token, error) {
 			if digitsAndDashes == 2 && len(text) == 10 {
 				toks = append(toks, token{tokDate, text, i})
 			} else if digitsAndDashes > 0 {
-				return nil, fmt.Errorf("query: malformed literal %q at offset %d", text, i)
+				return nil, fmt.Errorf("%w: malformed literal %q at offset %d", ErrSyntax, text, i)
 			} else {
 				toks = append(toks, token{tokNumber, text, i})
 			}
@@ -129,7 +129,7 @@ func lex(src string) ([]token, error) {
 			}
 			i = j
 		default:
-			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrSyntax, c, i)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", len(src)})

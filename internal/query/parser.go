@@ -23,7 +23,7 @@ func Parse(src string) (*Query, error) {
 		return nil, err
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("query: trailing input at %v", p.peek())
+		return nil, fmt.Errorf("%w: trailing input at %v", ErrSyntax, p.peek())
 	}
 	return q, nil
 }
@@ -46,7 +46,7 @@ func (p *parser) next() token {
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if t.kind != tokKeyword || t.text != kw {
-		return fmt.Errorf("query: expected %q, got %v", kw, t)
+		return fmt.Errorf("%w: expected %q, got %v", ErrSyntax, kw, t)
 	}
 	return nil
 }
@@ -57,7 +57,7 @@ func (p *parser) query() (*Query, error) {
 	}
 	cls := p.next()
 	if cls.kind != tokIdent {
-		return nil, fmt.Errorf("query: expected class name, got %v", cls)
+		return nil, fmt.Errorf("%w: expected class name, got %v", ErrSyntax, cls)
 	}
 	q := &Query{ClassName: cls.text}
 	if p.peek().kind == tokKeyword && p.peek().text == "where" {
@@ -120,7 +120,7 @@ func (p *parser) unary() (Expr, error) {
 			return nil, err
 		}
 		if tt := p.next(); tt.kind != tokRParen {
-			return nil, fmt.Errorf("query: expected ')', got %v", tt)
+			return nil, fmt.Errorf("%w: expected ')', got %v", ErrSyntax, tt)
 		}
 		return e, nil
 	default:
@@ -131,7 +131,7 @@ func (p *parser) unary() (Expr, error) {
 func (p *parser) pred() (Expr, error) {
 	attr := p.next()
 	if attr.kind != tokIdent {
-		return nil, fmt.Errorf("query: expected attribute name, got %v", attr)
+		return nil, fmt.Errorf("%w: expected attribute name, got %v", ErrSyntax, attr)
 	}
 	opTok := p.next()
 	var op Op
@@ -154,17 +154,17 @@ func (p *parser) pred() (Expr, error) {
 	case opTok.kind == tokKeyword && opTok.text == "contains":
 		op = OpContains
 	default:
-		return nil, fmt.Errorf("query: expected operator, got %v", opTok)
+		return nil, fmt.Errorf("%w: expected operator, got %v", ErrSyntax, opTok)
 	}
 	lit := p.next()
 	switch lit.kind {
 	case tokString, tokNumber, tokDate:
 	case tokKeyword:
 		if lit.text != "true" && lit.text != "false" {
-			return nil, fmt.Errorf("query: expected literal, got %v", lit)
+			return nil, fmt.Errorf("%w: expected literal, got %v", ErrSyntax, lit)
 		}
 	default:
-		return nil, fmt.Errorf("query: expected literal, got %v", lit)
+		return nil, fmt.Errorf("%w: expected literal, got %v", ErrSyntax, lit)
 	}
 	return &Pred{Attr: attr.text, Op: op, Lit: Literal{kind: lit.kind, text: lit.text}}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"avdb/internal/media"
+	"avdb/internal/obs"
 )
 
 // Resources is a bundle of the finite system resources §3.3 names:
@@ -58,6 +59,7 @@ type Admission struct {
 	mu    sync.Mutex
 	total Resources
 	used  Resources
+	sink  obs.Sink
 }
 
 // NewAdmission returns an admission controller with the given budget.  A
@@ -68,6 +70,31 @@ func NewAdmission(total Resources) (*Admission, error) {
 		return nil, fmt.Errorf("sched: negative admission budget %v", total)
 	}
 	return &Admission{total: total}, nil
+}
+
+// SetSink installs an observability sink.  The admission counters
+// (admission.reserve / admission.reject / admission.release) and the
+// utilization gauges (admission.used_* / admission.total_*) flow to it.
+func (a *Admission) SetSink(s obs.Sink) {
+	a.mu.Lock()
+	a.sink = s
+	if s != nil {
+		s.SetGauge("admission.total_buffers", int64(a.total.Buffers))
+		s.SetGauge("admission.total_cpu", int64(a.total.CPU))
+		s.SetGauge("admission.total_bus", int64(a.total.Bus))
+		a.publishUsedLocked()
+	}
+	a.mu.Unlock()
+}
+
+// publishUsedLocked pushes the utilization gauges; callers hold a.mu.
+func (a *Admission) publishUsedLocked() {
+	if a.sink == nil {
+		return
+	}
+	a.sink.SetGauge("admission.used_buffers", int64(a.used.Buffers))
+	a.sink.SetGauge("admission.used_cpu", int64(a.used.CPU))
+	a.sink.SetGauge("admission.used_bus", int64(a.used.Bus))
 }
 
 // Total reports the full budget.
@@ -100,9 +127,16 @@ func (a *Admission) Reserve(r Resources) (*Grant, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if !a.used.Add(r).Fits(a.total) {
+		if a.sink != nil {
+			a.sink.Count("admission.reject", 1)
+		}
 		return nil, fmt.Errorf("%w: %v requested, %v of %v free", ErrAdmission, r, a.total.Sub(a.used), a.total)
 	}
 	a.used = a.used.Add(r)
+	if a.sink != nil {
+		a.sink.Count("admission.reserve", 1)
+		a.publishUsedLocked()
+	}
 	return &Grant{a: a, r: r}, nil
 }
 
@@ -143,6 +177,10 @@ func (g *Grant) Shrink(to Resources) error {
 	g.r = to
 	g.a.mu.Lock()
 	g.a.used = g.a.used.Sub(freed)
+	if g.a.sink != nil {
+		g.a.sink.Count("admission.shrink", 1)
+		g.a.publishUsedLocked()
+	}
 	g.a.mu.Unlock()
 	return nil
 }
@@ -159,5 +197,9 @@ func (g *Grant) Release() {
 	g.mu.Unlock()
 	g.a.mu.Lock()
 	g.a.used = g.a.used.Sub(r)
+	if g.a.sink != nil {
+		g.a.sink.Count("admission.release", 1)
+		g.a.publishUsedLocked()
+	}
 	g.a.mu.Unlock()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"avdb/internal/avtime"
+	"avdb/internal/obs"
 )
 
 // Monitor accumulates the scheduled-versus-actual presentation times of
@@ -12,6 +13,7 @@ import (
 // experiments report deadline-miss rates from Monitors.
 type Monitor struct {
 	tolerance avtime.WorldTime
+	sink      obs.Sink
 
 	count   int
 	misses  int
@@ -28,6 +30,11 @@ func NewMonitor(tolerance avtime.WorldTime) *Monitor {
 	return &Monitor{tolerance: tolerance}
 }
 
+// SetSink installs an observability sink.  Each Record emits
+// deadline.presented (and deadline.missed when late past tolerance) and
+// observes the lateness into the deadline.lateness_us histogram.
+func (m *Monitor) SetSink(s obs.Sink) { m.sink = s }
+
 // Record notes one presentation.
 func (m *Monitor) Record(scheduled, actual avtime.WorldTime) {
 	m.count++
@@ -39,8 +46,16 @@ func (m *Monitor) Record(scheduled, actual avtime.WorldTime) {
 	if late > m.maxLate {
 		m.maxLate = late
 	}
-	if late > m.tolerance {
+	missed := late > m.tolerance
+	if missed {
 		m.misses++
+	}
+	if m.sink != nil {
+		m.sink.Count("deadline.presented", 1)
+		if missed {
+			m.sink.Count("deadline.missed", 1)
+		}
+		m.sink.Observe("deadline.lateness_us", int64(late))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"avdb/internal/avtime"
+	"avdb/internal/obs"
 )
 
 // StallDetector watches one stream's scheduled-versus-actual presentation
@@ -31,6 +32,18 @@ type StallDetector struct {
 
 	resync *Resync
 	track  string
+	sink   obs.Sink
+}
+
+// SetSink installs an observability sink: stall edges emit the
+// stream.stalls / stream.recoveries counters.  The detector's internal
+// monitor is left uninstrumented — the stream's own Monitor is the one
+// that reports deadline.* metrics, and instrumenting both would double
+// every observation.
+func (d *StallDetector) SetSink(s obs.Sink) {
+	d.mu.Lock()
+	d.sink = s
+	d.mu.Unlock()
 }
 
 // NewStallDetector returns a detector that declares a stall after
@@ -84,12 +97,18 @@ func (d *StallDetector) Record(scheduled, actual avtime.WorldTime) {
 			d.stalled = true
 			d.episodes++
 			fire = d.onStall
+			if d.sink != nil {
+				d.sink.Count("stream.stalls", 1)
+			}
 		}
 	} else {
 		d.run = 0
 		if d.stalled {
 			d.stalled = false
 			fire = d.onRecover
+			if d.sink != nil {
+				d.sink.Count("stream.recoveries", 1)
+			}
 		}
 	}
 	d.mu.Unlock()

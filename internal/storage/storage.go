@@ -18,6 +18,7 @@ import (
 	"avdb/internal/avtime"
 	"avdb/internal/device"
 	"avdb/internal/media"
+	"avdb/internal/obs"
 )
 
 // ErrNoSegment is wrapped by lookups of unknown segments.
@@ -77,6 +78,16 @@ type Store struct {
 	mu       sync.Mutex
 	nextID   SegID
 	segments map[SegID]*Segment
+	sink     obs.Sink
+}
+
+// SetSink installs an observability sink.  Streams opened afterwards
+// emit storage.reads / read_bytes / read_faults / streams_opened
+// counters and observe read costs into storage.read_time_us.
+func (st *Store) SetSink(s obs.Sink) {
+	st.mu.Lock()
+	st.sink = s
+	st.mu.Unlock()
 }
 
 // NewStore returns a store over the given device manager.
@@ -270,6 +281,7 @@ type Stream struct {
 	open    bool
 	startup avtime.WorldTime // positioning cost charged on the first read
 	bytes   int64
+	sink    obs.Sink // copied from the store at open time
 }
 
 // OpenStream reserves rate on the segment's device and returns a stream.
@@ -310,7 +322,13 @@ func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.Worl
 	default:
 		return nil, 0, fmt.Errorf("storage: device %q cannot stream", s.devID)
 	}
-	return &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup}, startup, nil
+	st.mu.Lock()
+	sink := st.sink
+	st.mu.Unlock()
+	if sink != nil {
+		sink.Count("storage.streams_opened", 1)
+	}
+	return &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup, sink: sink}, startup, nil
 }
 
 // Segment returns the streamed segment.
@@ -341,6 +359,9 @@ func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 	if f, ok := s.dev.(device.Faultable); ok {
 		dt, err := f.CheckRead(bytes)
 		if err != nil {
+			if s.sink != nil {
+				s.sink.Count("storage.read_faults", 1)
+			}
 			return dt, fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.seg.devID, err)
 		}
 		extra = dt
@@ -349,6 +370,11 @@ func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 	t := extra + avtime.WorldTime(bytes*int64(avtime.Second)/int64(s.rate))
 	t += s.startup
 	s.startup = 0
+	if s.sink != nil {
+		s.sink.Count("storage.reads", 1)
+		s.sink.Count("storage.read_bytes", bytes)
+		s.sink.Observe("storage.read_time_us", int64(t))
+	}
 	return t, nil
 }
 

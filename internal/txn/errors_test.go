@@ -1,0 +1,58 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"avdb/internal/media"
+	"avdb/internal/schema"
+)
+
+// TestNotActiveSentinel checks that every operation on a finished
+// transaction wraps ErrNotActive.
+func TestNotActiveSentinel(t *testing.T) {
+	m := NewManager()
+
+	committed := m.Begin()
+	if err := committed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := committed.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("second commit = %v, want ErrNotActive", err)
+	}
+	if err := committed.LockClass("Newscast", ModeS); !errors.Is(err, ErrNotActive) {
+		t.Errorf("lock after commit = %v, want ErrNotActive", err)
+	}
+
+	aborted := m.Begin()
+	aborted.Abort()
+	if err := aborted.LockObject("Newscast", schema.OID(1), ModeX); !errors.Is(err, ErrNotActive) {
+		t.Errorf("lock after abort = %v, want ErrNotActive", err)
+	}
+	if err := aborted.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("commit after abort = %v, want ErrNotActive", err)
+	}
+}
+
+// TestNoVersionSentinel checks that chain lookups with a bad version
+// number wrap ErrNoVersion.
+func TestNoVersionSentinel(t *testing.T) {
+	vs := NewVersionStore()
+	oid := schema.OID(7)
+	if _, err := vs.Revert(oid, "videoTrack", 1); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("revert on empty chain = %v, want ErrNoVersion", err)
+	}
+	v := media.NewVideoValue(media.TypeRawVideo30, 4, 4, 8)
+	if err := v.AppendFrame(media.NewFrame(4, 4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Checkin(oid, "videoTrack", v, "initial"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Revert(oid, "videoTrack", 2); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("revert to missing version = %v, want ErrNoVersion", err)
+	}
+	if _, err := vs.Revert(oid, "videoTrack", 1); err != nil {
+		t.Errorf("revert to existing version failed: %v", err)
+	}
+}

@@ -100,6 +100,10 @@ func (r Resource) String() string {
 // ErrDeadlock is returned to a transaction chosen as the deadlock victim.
 var ErrDeadlock = errors.New("txn: deadlock detected")
 
+// ErrNotActive is wrapped by every operation attempted on a transaction
+// that has already committed or aborted; callers branch with errors.Is.
+var ErrNotActive = errors.New("txn: transaction not active")
+
 // lockState tracks one resource's holders.
 type lockState struct {
 	holders map[uint64]Mode
@@ -262,7 +266,7 @@ func (t *Tx) ensureActive() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state != TxActive {
-		return fmt.Errorf("txn: transaction %d is not active", t.id)
+		return fmt.Errorf("%w: transaction %d", ErrNotActive, t.id)
 	}
 	return nil
 }
@@ -309,7 +313,7 @@ func (t *Tx) Commit() error {
 	t.mu.Lock()
 	if t.state != TxActive {
 		t.mu.Unlock()
-		return fmt.Errorf("txn: transaction %d is not active", t.id)
+		return fmt.Errorf("%w: transaction %d", ErrNotActive, t.id)
 	}
 	t.state = TxCommitted
 	t.mu.Unlock()

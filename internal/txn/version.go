@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,10 @@ import (
 	"avdb/internal/media"
 	"avdb/internal/schema"
 )
+
+// ErrNoVersion is wrapped when an operation names a version number that
+// does not exist in the attribute's chain.
+var ErrNoVersion = errors.New("txn: no such version")
 
 // Version is one entry in a media attribute's version chain.
 type Version struct {
@@ -84,7 +89,7 @@ func (vs *VersionStore) History(oid schema.OID, attr string) []Version {
 func (vs *VersionStore) Revert(oid schema.OID, attr string, num int) (int, error) {
 	old, ok := vs.Get(oid, attr, num)
 	if !ok {
-		return 0, fmt.Errorf("txn: no version %d of %v.%s", num, oid, attr)
+		return 0, fmt.Errorf("%w: version %d of %v.%s", ErrNoVersion, num, oid, attr)
 	}
 	return vs.Checkin(oid, attr, old.Value, fmt.Sprintf("revert to v%d", num))
 }
