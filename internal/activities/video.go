@@ -112,13 +112,15 @@ func (r *VideoReader) Degrade(v media.Value, port string) error {
 }
 
 // readTime charges one frame's device read to the timeline, retrying
-// transient faults under the configured policy.
-func (r *VideoReader) readTime(bytes int64) (avtime.WorldTime, error) {
+// transient faults under the configured policy.  Reads go through the
+// chunk-indexed path so a store cache policy can serve prefetched frames
+// without device time; with no policy it costs exactly a plain read.
+func (r *VideoReader) readTime(idx int, bytes int64) (avtime.WorldTime, error) {
 	if !r.haveRetry {
-		return r.stream.ReadTime(bytes)
+		return r.stream.ReadChunkTime(idx, bytes)
 	}
 	dt, attempts, err := r.retry.Do(func() (avtime.WorldTime, error) {
-		return r.stream.ReadTime(bytes)
+		return r.stream.ReadChunkTime(idx, bytes)
 	})
 	r.retries += attempts - 1
 	return dt, err
@@ -151,7 +153,7 @@ func (r *VideoReader) Tick(tc *activity.TickContext) error {
 	}
 	c := &activity.Chunk{Seq: r.pos, At: tc.Now, Arrived: tc.Now, Payload: el}
 	if r.stream != nil {
-		dt, err := r.readTime(el.Size())
+		dt, err := r.readTime(r.pos, el.Size())
 		if err != nil {
 			if !r.dropOnErr {
 				return err

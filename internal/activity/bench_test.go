@@ -1,6 +1,7 @@
 package activity
 
 import (
+	"fmt"
 	"testing"
 
 	"avdb/internal/media"
@@ -95,6 +96,156 @@ func BenchmarkCompositeOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchBurnSource synthesizes one frame per tick and runs `passes` of a
+// deterministic pixel transform over it — a stand-in for the per-lane
+// decode/effects work the wavefront executor exists to parallelize.
+// Copy-only sources make every wide graph overhead-bound; these do not.
+type benchBurnSource struct {
+	*Base
+	frames, passes, pos int
+	w, h                int
+	state               uint32
+}
+
+func newBenchBurnSource(name string, frames, passes int, seed uint32) *benchBurnSource {
+	s := &benchBurnSource{
+		Base:   NewBase(name, "BenchBurnSource", AtDatabase),
+		frames: frames, passes: passes, w: 64, h: 48, state: seed | 1,
+	}
+	s.AddPort("out", Out, media.TypeRawVideo30)
+	return s
+}
+
+func (s *benchBurnSource) Tick(tc *TickContext) error {
+	if s.pos >= s.frames {
+		s.MarkDone()
+		return nil
+	}
+	f := media.NewFrame(s.w, s.h, 8)
+	x := s.state
+	for p := 0; p < s.passes; p++ {
+		for i := range f.Pix {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			f.Pix[i] += byte(x)
+		}
+	}
+	s.state = x
+	tc.Emit("out", &Chunk{Seq: s.pos, At: tc.Now, Arrived: tc.Now, Payload: f})
+	s.pos++
+	if s.pos >= s.frames {
+		s.MarkDone()
+	}
+	return nil
+}
+
+// benchBurnSink folds its input through the same transform, giving the
+// fan-out level real per-lane work too.
+type benchBurnSink struct {
+	*Base
+	passes int
+	n      int
+	sum    uint32
+}
+
+func newBenchBurnSink(name string, passes int) *benchBurnSink {
+	s := &benchBurnSink{Base: NewBase(name, "BenchBurnSink", AtApplication), passes: passes}
+	s.AddPort("in", In, media.TypeRawVideo30)
+	return s
+}
+
+func (s *benchBurnSink) Tick(tc *TickContext) error {
+	in := tc.In("in")
+	if in == nil {
+		return nil
+	}
+	f := in.Payload.(*media.Frame)
+	x := s.sum | 1
+	for p := 0; p < s.passes; p++ {
+		for i := range f.Pix {
+			x ^= uint32(f.Pix[i]) + x<<7
+		}
+	}
+	s.sum = x
+	s.n++
+	return nil
+}
+
+// buildBurnGraph wires a wide fan-in/fan-out shape: width compute-heavy
+// sources into one mixer whose output fans out to width compute-heavy
+// sinks.  Both wide levels carry real work, so lanes matter.
+func buildBurnGraph(b *testing.B, width, frames, passes int) (*Graph, []*benchBurnSink) {
+	b.Helper()
+	g := NewGraph("burn")
+	mix := newTestMixer("mix", width, AtDatabase)
+	if err := g.Add(mix); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < width; i++ {
+		src := newBenchBurnSource(fmt.Sprintf("src%d", i), frames, passes, uint32(i+1))
+		if err := g.Add(src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Connect(src, "out", mix, fmt.Sprintf("in%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sinks := make([]*benchBurnSink, width)
+	for i := 0; i < width; i++ {
+		sinks[i] = newBenchBurnSink(fmt.Sprintf("sink%d", i), passes)
+		if err := g.Add(sinks[i]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Connect(mix, "out", sinks[i], "in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g, sinks
+}
+
+// benchGraphRun measures one full run of the wide burn graph under the
+// given lane count.  The serial and parallel variants execute identical
+// work on identical graphs; only RunConfig.Workers differs.
+func benchGraphRun(b *testing.B, workers int) {
+	const (
+		width  = 8
+		frames = 30
+		passes = 12
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, sinks := buildBurnGraph(b, width, frames, passes)
+		if err := g.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0), Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if want := int64(width*frames + width*frames); stats.Chunks != want {
+			b.Fatalf("stats.Chunks = %d, want %d", stats.Chunks, want)
+		}
+		for _, s := range sinks {
+			if s.n != frames {
+				b.Fatalf("sink got %d frames, want %d", s.n, frames)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkGraphRun compares the wavefront executor's serial and
+// parallel modes on an 8-wide fan-in/fan-out graph; scripts/bench_pr3.sh
+// turns the two into BENCH_pr3.json.
+func BenchmarkGraphRun(b *testing.B) {
+	b.Run("wide-serial", func(b *testing.B) { benchGraphRun(b, 1) })
+	b.Run("wide-parallel", func(b *testing.B) { benchGraphRun(b, 0) })
 }
 
 type benchSource struct {

@@ -1,9 +1,11 @@
 package activity
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"avdb/internal/avtime"
 	"avdb/internal/media"
 	"avdb/internal/sched"
 )
@@ -26,6 +28,29 @@ func (m *MultiPayload) Size() int64 {
 		n += c.Size()
 	}
 	return n
+}
+
+// Clone returns a deep copy of the payload: a fresh part map holding
+// struct copies of the part chunks, with nested multiplexed payloads
+// cloned recursively.  Leaf payload elements stay shared — they are
+// immutable on the delivery path.
+func (m *MultiPayload) Clone() *MultiPayload { return m.cloneShifted(0) }
+
+// cloneShifted is Clone with every part's (and nested part's) Arrived
+// time shifted by extra, in one pass.  propagateExtra uses it so a chunk
+// copy gets a privately shifted payload while siblings sharing the
+// original — fan-out branches, the producer's own copy — are untouched.
+func (m *MultiPayload) cloneShifted(extra avtime.WorldTime) *MultiPayload {
+	parts := make(map[string]*Chunk, len(m.Parts))
+	for name, p := range m.Parts {
+		cp := *p
+		cp.Arrived += extra
+		if nested, ok := cp.Payload.(*MultiPayload); ok {
+			cp.Payload = nested.cloneShifted(extra)
+		}
+		parts[name] = &cp
+	}
+	return &MultiPayload{Parts: parts}
 }
 
 // Composite is a composite activity — flow-composition rule 2: an
@@ -249,12 +274,17 @@ func (c *Composite) Start() error {
 	return c.Base.Start()
 }
 
-// Stop stops the composite and all components.
+// Stop stops the composite and all components, joining any component
+// Stop errors with the composite's own.
 func (c *Composite) Stop() error {
+	var errs []error
 	for _, child := range c.Children() {
-		_ = child.Stop()
+		if err := child.Stop(); err != nil {
+			errs = append(errs, fmt.Errorf("activity: stopping component %s: %w", child.Name(), err))
+		}
 	}
-	return c.Base.Stop()
+	errs = append(errs, c.Base.Stop())
+	return errors.Join(errs...)
 }
 
 // Tick implements Activity: it routes composite inputs to components,

@@ -1,6 +1,7 @@
 package activity
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -288,11 +289,17 @@ func (g *Graph) Start() error {
 	return nil
 }
 
-// Stop stops every node in the graph.
-func (g *Graph) Stop() {
+// Stop stops every node in the graph.  Per-node Stop errors are
+// collected and joined rather than discarded, so a failed teardown is
+// visible to the caller; every node is stopped regardless.
+func (g *Graph) Stop() error {
+	var errs []error
 	for _, a := range g.Nodes() {
-		_ = a.Stop()
+		if err := a.Stop(); err != nil {
+			errs = append(errs, fmt.Errorf("activity: stopping %s: %w", a.Name(), err))
+		}
 	}
+	return errors.Join(errs...)
 }
 
 // RunConfig parameterizes one graph run.
@@ -300,6 +307,13 @@ type RunConfig struct {
 	Clock    *sched.VirtualClock // required
 	Rate     avtime.Rate         // tick rate; defaults to 30Hz
 	MaxTicks int                 // safety bound; defaults to 10 million
+
+	// Workers bounds the wavefront executor's pool: activities in the
+	// same dependency level tick concurrently on up to this many lanes.
+	// Zero (the default) means GOMAXPROCS; one forces serial execution.
+	// Either way the run's RunStats and observability output are
+	// byte-identical — see executor.go.
+	Workers int
 
 	// Obs, when non-nil, receives a playback span covering the run with
 	// nested activity, connection and chunk spans, plus the stream.* and
@@ -316,10 +330,21 @@ type RunStats struct {
 	Chunks     int64            // chunks delivered over connections
 	BytesMoved int64            // payload bytes delivered over connections
 
+	// LastArrival is the latest chunk arrival the run observed.  The
+	// final clock reading is guaranteed to cover it: a tail chunk whose
+	// accumulated latency lands past the last tick is drained into
+	// Elapsed rather than silently cut off.
+	LastArrival avtime.WorldTime
+
 	// Fault accounting.
 	ChunksDropped    int64 // chunks lost in flight
 	ChunksCorrupted  int64 // chunks delivered with damaged payloads
 	TransferFailures int64 // failed transfers absorbed by fail-soft connections
+
+	// StopErr carries the joined per-node Stop errors from the run's
+	// teardown, so a failed teardown isn't invisible to callers that
+	// only look at stats.
+	StopErr error
 }
 
 // Run executes the graph until every source has exhausted its stream (or
@@ -341,16 +366,29 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A finished run leaves every activity quiescent so the graph can be
-	// cued and started again.
-	defer g.Stop()
 	conns := g.Connections()
+	stats := &RunStats{}
+	// A finished run leaves every activity quiescent so the graph can be
+	// cued and started again; teardown failures surface through stats.
+	defer func() {
+		if err := g.Stop(); err != nil {
+			stats.StopErr = err
+		}
+	}()
 	incoming := make(map[string][]*Connection)
 	for _, c := range conns {
 		incoming[c.to.Name()] = append(incoming[c.to.Name()], c)
 	}
+	levels := levelize(order, conns)
+	workers := resolveWorkers(cfg.Workers, maxWidth(levels))
+	var pool *tickPool
+	if workers > 1 {
+		pool = newTickPool(workers)
+		defer pool.close()
+	}
+	gate := sched.NewAdvanceGate(cfg.Clock)
+	entries := make([]tickEntry, 0, len(order))
 
-	stats := &RunStats{}
 	startAt := cfg.Clock.Now()
 
 	// Observability: one playback span for the run, one activity span per
@@ -371,6 +409,11 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 		for _, c := range conns {
 			connSpans[c] = sink.BeginSpan(pbSpan, obs.KindConnection, c.label, startAt)
 		}
+		// Executor shape, not executor configuration: both gauges depend
+		// only on the graph, so serial and parallel snapshots stay
+		// byte-identical.
+		sink.SetGauge("exec.levels", int64(len(levels)))
+		sink.SetGauge("exec.width", int64(maxWidth(levels)))
 		defer func() {
 			now := cfg.Clock.Now()
 			for _, c := range conns {
@@ -400,71 +443,107 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 		iv := avtime.Interval{Start: now, Dur: rate.UnitDuration()}
 
 		anyRunning := false
+		var last avtime.WorldTime
 		produced := make(map[*Port]*Chunk)
-		for _, node := range order {
-			if node.State() != StateStarted {
-				continue
-			}
-			anyRunning = true
-			tc := NewTickContext(now, tick, iv)
-			for _, conn := range incoming[node.Name()] {
-				src := produced[conn.fromPort]
-				if src == nil {
+		for _, level := range levels {
+			entries = entries[:0]
+
+			// Phase A — serial, in topological order: move chunks across
+			// connections, account faults, emit chunk spans, stage every
+			// running node's tick inputs.  Producers sit in strictly
+			// earlier levels, so `produced` is complete for this level.
+			for _, node := range level {
+				if node.State() != StateStarted {
 					continue
 				}
-				oc := conn.deliver(src)
-				if oc.err != nil {
-					return stats, oc.err
-				}
-				if oc.chunk == nil {
-					// Lost in flight or absorbed by a fail-soft connection:
-					// nothing arrives this tick; the receiver sees the gap and
-					// the client hears about it.
-					if oc.dropped {
-						stats.ChunksDropped++
+				anyRunning = true
+				tc := NewTickContext(now, tick, iv)
+				for _, conn := range incoming[node.Name()] {
+					src := produced[conn.fromPort]
+					if src == nil {
+						continue
 					}
-					if oc.failed {
-						stats.TransferFailures++
+					oc := conn.deliver(src)
+					if oc.err != nil {
+						return stats, oc.err
 					}
-					emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: now, Seq: src.Seq})
-					continue
+					if oc.chunk == nil {
+						// Lost in flight or absorbed by a fail-soft connection:
+						// nothing arrives this tick; the receiver sees the gap and
+						// the client hears about it.
+						if oc.dropped {
+							stats.ChunksDropped++
+						}
+						if oc.failed {
+							stats.TransferFailures++
+						}
+						emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: now, Seq: src.Seq})
+						continue
+					}
+					if oc.corrupted {
+						stats.ChunksCorrupted++
+					}
+					if sink != nil {
+						cs := sink.BeginSpan(connSpans[conn], obs.KindChunk, conn.label, src.At)
+						sink.SpanAttr(cs, "seq", int64(src.Seq))
+						sink.EndSpan(cs, oc.chunk.Arrived)
+						sink.Observe("stream.chunk_latency_us", int64(oc.chunk.Arrived-oc.chunk.At))
+					}
+					tc.SetIn(conn.toPort.Name(), oc.chunk)
+					stats.Chunks++
+					stats.BytesMoved += oc.chunk.Size()
+					if oc.chunk.Arrived > last {
+						last = oc.chunk.Arrived
+					}
 				}
-				if oc.corrupted {
-					stats.ChunksCorrupted++
-				}
-				if sink != nil {
-					cs := sink.BeginSpan(connSpans[conn], obs.KindChunk, conn.label, src.At)
-					sink.SpanAttr(cs, "seq", int64(src.Seq))
-					sink.EndSpan(cs, oc.chunk.Arrived)
-					sink.Observe("stream.chunk_latency_us", int64(oc.chunk.Arrived-oc.chunk.At))
-				}
-				tc.SetIn(conn.toPort.Name(), oc.chunk)
-				stats.Chunks++
-				stats.BytesMoved += oc.chunk.Size()
+				entries = append(entries, tickEntry{node: node, tc: tc})
 			}
-			if err := node.Tick(tc); err != nil {
-				return stats, fmt.Errorf("activity: %s at tick %d: %w", node.Name(), tick, err)
+
+			// Phase B — tick the level: on the pool when more than one
+			// node is staged, inline otherwise.  A single lane executes
+			// in entry order, which is exactly the serial order.
+			if pool != nil && len(entries) > 1 {
+				pool.run(entries)
+			} else {
+				for i := range entries {
+					entries[i].exec()
+				}
 			}
-			lat := sampleLatency(node)
-			for port, c := range tc.Outputs() {
-				if c == nil {
-					continue
+
+			// Phase C — serial, in topological order: surface the first
+			// error, stamp activity latency onto outputs, publish chunks
+			// for the next level.
+			for i := range entries {
+				e := &entries[i]
+				if e.err != nil {
+					return stats, fmt.Errorf("activity: %s at tick %d: %w", e.node.Name(), tick, e.err)
 				}
-				if c.Arrived < now {
-					c.Arrived = now
+				for port, c := range e.tc.Outputs() {
+					if c == nil {
+						continue
+					}
+					if c.Arrived < now {
+						c.Arrived = now
+					}
+					c.Arrived += e.lat
+					propagateExtra(c, e.lat)
+					p, ok := e.node.Port(port)
+					if !ok {
+						return stats, fmt.Errorf("activity: %s emitted on unknown port %q", e.node.Name(), port)
+					}
+					if c.Arrived > last {
+						last = c.Arrived
+					}
+					produced[p] = c
 				}
-				c.Arrived += lat
-				propagateExtra(c, lat)
-				p, ok := node.Port(port)
-				if !ok {
-					return stats, fmt.Errorf("activity: %s emitted on unknown port %q", node.Name(), port)
-				}
-				produced[p] = c
 			}
 		}
 
 		stats.Ticks++
-		cfg.Clock.AdvanceTo(now + rate.UnitDuration())
+		if last > 0 {
+			gate.Propose(last)
+		}
+		gate.CommitTick(now + rate.UnitDuration())
 		stats.Elapsed = cfg.Clock.Now() - startAt
 		if !anyRunning {
 			break
@@ -473,6 +552,12 @@ func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
 			break
 		}
 	}
+	// Drain: chunks still in flight when the sources finish belong to
+	// this run.  The final clock reading must cover the latest arrival,
+	// so tail latency shows up in Elapsed instead of being cut off.
+	stats.LastArrival = gate.Latest()
+	gate.Drain()
+	stats.Elapsed = cfg.Clock.Now() - startAt
 	return stats, nil
 }
 
@@ -516,14 +601,19 @@ func sampleLatency(a Activity) avtime.WorldTime {
 
 // propagateExtra adds a shared path delay to every part of a multiplexed
 // payload, keeping part arrival times consistent with the outer chunk's.
+//
+// The shift is copy-on-write: chunk copies made by deliver (and by tee
+// activities fanning one output to several ports) share the same
+// *MultiPayload, so shifting the shared parts in place would apply one
+// branch's latency to every branch — double-counting on fan-out.  The
+// chunk instead gets its own shifted clone and the shared original is
+// left untouched.
 func propagateExtra(c *Chunk, extra avtime.WorldTime) {
 	if extra == 0 {
 		return
 	}
 	if mp, ok := c.Payload.(*MultiPayload); ok {
-		for _, part := range mp.Parts {
-			part.Arrived += extra
-		}
+		c.Payload = mp.cloneShifted(extra)
 	}
 }
 

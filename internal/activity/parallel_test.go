@@ -1,0 +1,408 @@
+package activity
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/obs"
+	"avdb/internal/sched"
+)
+
+// testMixer merges up to `ins` video inputs by pixel-summing them, the
+// fan-in half of a wide wavefront graph.
+type testMixer struct {
+	*Base
+	ins int
+}
+
+func newTestMixer(name string, ins int, loc Location) *testMixer {
+	m := &testMixer{Base: NewBase(name, "TestMixer", loc), ins: ins}
+	for i := 0; i < ins; i++ {
+		m.AddPort(fmt.Sprintf("in%d", i), In, media.TypeRawVideo30)
+	}
+	m.AddPort("out", Out, media.TypeRawVideo30)
+	return m
+}
+
+func (m *testMixer) Tick(tc *TickContext) error {
+	var acc *media.Frame
+	var inputs []*Chunk
+	seq := 0
+	for i := 0; i < m.ins; i++ {
+		in := tc.In(fmt.Sprintf("in%d", i))
+		if in == nil {
+			continue
+		}
+		inputs = append(inputs, in)
+		f := in.Payload.(*media.Frame)
+		if acc == nil {
+			acc = f.Clone()
+		} else {
+			for p := range acc.Pix {
+				acc.Pix[p] += f.Pix[p]
+			}
+		}
+		seq = in.Seq
+	}
+	if acc == nil {
+		return nil
+	}
+	tc.Emit("out", &Chunk{Seq: seq, At: tc.Now, Arrived: MaxArrival(inputs...), Payload: acc})
+	return nil
+}
+
+// buildWideGraph wires width jittered sources through seeded network
+// connections into one mixer feeding a sink — fan-in wide enough to give
+// the wavefront executor real work, with every random draw seeded so two
+// builds behave identically.
+func buildWideGraph(t *testing.T, width, frames int) (*Graph, *frameSink) {
+	t.Helper()
+	g := NewGraph("wide")
+	mix := newTestMixer("mix", width, AtDatabase)
+	sink := newFrameSink("sink", AtApplication)
+	if err := g.Add(mix); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.NewLink("lan", media.DataRate(width)*media.MBPerSecond, 2*avtime.Millisecond, avtime.Millisecond, 99)
+	for i := 0; i < width; i++ {
+		src := newFrameSource(fmt.Sprintf("src%d", i), AtDatabase)
+		src.SetLatency(sched.NewLatency(3*avtime.Millisecond, 2*avtime.Millisecond, int64(i+1)))
+		if err := g.Add(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Bind(testValue(frames), "out"); err != nil {
+			t.Fatal(err)
+		}
+		nc, err := link.Connect(media.MBPerSecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.ConnectVia(src, "out", mix, fmt.Sprintf("in%d", i), nc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Connect(mix, "out", sink, "in"); err != nil {
+		t.Fatal(err)
+	}
+	return g, sink
+}
+
+func TestLevelsPartitionTopoOrder(t *testing.T) {
+	g, _ := buildWideGraph(t, 4, 1)
+	order, err := g.topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := levelize(order, g.Connections())
+	// The levels must be contiguous slices of the topological order:
+	// concatenating them reproduces it exactly, which is what keeps the
+	// phased executor's serial phases in the serial executor's order.
+	var flat []string
+	for _, lv := range levels {
+		for _, n := range lv {
+			flat = append(flat, n.Name())
+		}
+	}
+	if len(flat) != len(order) {
+		t.Fatalf("levels hold %d nodes, order %d", len(flat), len(order))
+	}
+	for i, n := range order {
+		if flat[i] != n.Name() {
+			t.Fatalf("levels[%d] = %s, order[%d] = %s", i, flat[i], i, n.Name())
+		}
+	}
+	if len(levels) != 3 {
+		t.Errorf("levels = %d, want 3 (sources, mixer, sink)", len(levels))
+	}
+	if w := maxWidth(levels); w != 4 {
+		t.Errorf("maxWidth = %d, want 4", w)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Errorf("workers capped to width: got %d, want 3", got)
+	}
+	if got := resolveWorkers(2, 10); got != 2 {
+		t.Errorf("explicit workers: got %d, want 2", got)
+	}
+	if got := resolveWorkers(0, 10); got < 1 {
+		t.Errorf("default workers = %d, want >= 1", got)
+	}
+}
+
+// runWide executes a fresh wide graph under the given worker count and
+// returns everything an equivalence check needs: run stats, the
+// observability snapshot bytes, and the sink's arrival times.
+func runWide(t *testing.T, workers int) (*RunStats, []byte, []avtime.WorldTime) {
+	t.Helper()
+	g, sink := buildWideGraph(t, 4, 40)
+	col := obs.NewCollector()
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0), Workers: workers, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := col.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, []byte(js), sink.arrived
+}
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	// Same seeds, different lane counts: the runs must be byte-identical
+	// in stats, arrivals, and the full observability snapshot (span IDs,
+	// metric values, histogram buckets).
+	serialStats, serialSnap, serialArr := runWide(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		parStats, parSnap, parArr := runWide(t, workers)
+		if !reflect.DeepEqual(serialStats, parStats) {
+			t.Errorf("workers=%d: RunStats diverged:\nserial   %+v\nparallel %+v", workers, serialStats, parStats)
+		}
+		if !reflect.DeepEqual(serialArr, parArr) {
+			t.Errorf("workers=%d: sink arrival times diverged", workers)
+		}
+		if !bytes.Equal(serialSnap, parSnap) {
+			t.Errorf("workers=%d: obs snapshots differ (%d vs %d bytes)", workers, len(serialSnap), len(parSnap))
+		}
+	}
+}
+
+func TestFanOutPortSemantics(t *testing.T) {
+	// One out port feeding two connections: both receivers get every
+	// chunk; delivered copies are independent chunk structs.
+	g := NewGraph("fanout")
+	src := newFrameSource("src", AtDatabase)
+	s1 := newFrameSink("s1", AtApplication)
+	s2 := newFrameSink("s2", AtApplication)
+	for _, a := range []Activity{src, s1, s2} {
+		if err := g.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Connect(src, "out", s1, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(src, "out", s2, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Bind(testValue(10), "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.frames) != 10 || len(s2.frames) != 10 {
+		t.Fatalf("fan-out delivered %d/%d frames, want 10/10", len(s1.frames), len(s2.frames))
+	}
+	if stats.Chunks != 20 {
+		t.Errorf("stats.Chunks = %d, want 20 (10 per branch)", stats.Chunks)
+	}
+	for i := range s1.frames {
+		if s1.frames[i].Pix[0] != byte(i) || s2.frames[i].Pix[0] != byte(i) {
+			t.Fatalf("branch content wrong at %d", i)
+		}
+	}
+}
+
+// buildMuxFanOut wires one MultiSource whose mux out port fans out over
+// two network connections to two MultiSink composites.
+func buildMuxFanOut(t *testing.T) (*Graph, [2]*frameSink, [2]*frameSink) {
+	t.Helper()
+	g := NewGraph("muxfan")
+
+	msrc := NewComposite("dbSource", "MultiSource", AtDatabase)
+	v := newFrameSource("video", AtDatabase)
+	a := newFrameSource("audio", AtDatabase)
+	for _, child := range []Activity{v, a} {
+		if err := msrc.Install(child); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := msrc.ExportMuxOut("out", TrackRef{v, "out"}, TrackRef{a, "out"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Bind(testValue(10), "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind(testValue(10), "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(msrc); err != nil {
+		t.Fatal(err)
+	}
+
+	var videoSinks, audioSinks [2]*frameSink
+	link := netsim.NewLink("lan", 2*media.MBPerSecond, 3*avtime.Millisecond, 0, 1)
+	for i := 0; i < 2; i++ {
+		msink := NewComposite(fmt.Sprintf("appSink%d", i), "MultiSink", AtApplication)
+		wv := newFrameSink("video", AtApplication)
+		wa := newFrameSink("audio", AtApplication)
+		for _, child := range []Activity{wv, wa} {
+			if err := msink.Install(child); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := msink.ExportMuxIn("in", TrackRef{wv, "in"}, TrackRef{wa, "in"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(msink); err != nil {
+			t.Fatal(err)
+		}
+		nc, err := link.Connect(media.MBPerSecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.ConnectVia(msrc, "out", msink, "in", nc); err != nil {
+			t.Fatal(err)
+		}
+		videoSinks[i], audioSinks[i] = wv, wa
+	}
+	return g, videoSinks, audioSinks
+}
+
+func TestFanOutMultiPayloadLatencyAppliedOnce(t *testing.T) {
+	// Regression for the chunk-aliasing bug: deliver copied the outer
+	// chunk shallowly, so both fan-out branches shared one *MultiPayload
+	// and propagateExtra shifted the shared parts once per branch —
+	// double-applying the link latency on the second branch's tracks.
+	g, videoSinks, _ := buildMuxFanOut(t)
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Per delivery: 3ms propagation + 32 bytes at 1 MB/s (32µs), applied
+	// exactly once to each branch's parts.
+	want := 3*avtime.Millisecond + 32*avtime.Microsecond
+	for b, wv := range videoSinks {
+		if len(wv.arrived) != 10 {
+			t.Fatalf("branch %d delivered %d frames, want 10", b, len(wv.arrived))
+		}
+		if got := wv.arrived[0]; got != want {
+			t.Errorf("branch %d part lateness = %v, want %v (latency applied once)", b, got, want)
+		}
+	}
+}
+
+func TestRunDrainsInFlightArrivals(t *testing.T) {
+	// A source whose processing latency exceeds the tick interval leaves
+	// its final chunks arriving after the last tick; the run must extend
+	// the clock (and Elapsed) to cover them instead of cutting them off.
+	g := NewGraph("tail")
+	src := newFrameSource("src", AtDatabase)
+	src.SetLatency(sched.NewLatency(100*avtime.Millisecond, 0, 1))
+	sink := newFrameSink("sink", AtApplication)
+	if err := g.Add(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(src, "out", sink, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Bind(testValue(10), "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock := sched.NewVirtualClock(0)
+	stats, err := g.Run(RunConfig{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.arrived) != 10 {
+		t.Fatalf("delivered %d frames, want 10", len(sink.arrived))
+	}
+	last := sink.arrived[len(sink.arrived)-1]
+	if stats.LastArrival != last {
+		t.Errorf("LastArrival = %v, want %v", stats.LastArrival, last)
+	}
+	if now := clock.Now(); now < last {
+		t.Errorf("final clock %v does not cover last arrival %v", now, last)
+	}
+	if stats.Elapsed < last {
+		t.Errorf("Elapsed %v under-reports tail latency (last arrival %v)", stats.Elapsed, last)
+	}
+}
+
+// stopBomb is a sink whose teardown fails.
+type stopBomb struct {
+	*frameSink
+	fail error
+}
+
+func (s *stopBomb) Stop() error {
+	_ = s.frameSink.Stop()
+	return s.fail
+}
+
+func TestStopErrorsSurface(t *testing.T) {
+	errBoom := errors.New("device wedged")
+	g := NewGraph("teardown")
+	src := newFrameSource("src", AtDatabase)
+	bomb := &stopBomb{frameSink: newFrameSink("sink", AtApplication), fail: errBoom}
+	if err := g.Add(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(bomb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(src, "out", bomb, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Bind(testValue(3), "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(stats.StopErr, errBoom) {
+		t.Errorf("StopErr = %v, want wrapped %v", stats.StopErr, errBoom)
+	}
+	if got := g.Stop(); !errors.Is(got, errBoom) {
+		t.Errorf("Graph.Stop = %v, want wrapped %v", got, errBoom)
+	}
+}
+
+func TestGraphRunParallelWideRace(t *testing.T) {
+	// Exercises the worker pool under the race detector: a wide level
+	// with per-node latency models, faults absent, many ticks.
+	g, sink := buildWideGraph(t, 8, 60)
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Run(RunConfig{Clock: sched.NewVirtualClock(0), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.frames) != 60 {
+		t.Fatalf("delivered %d frames, want 60", len(sink.frames))
+	}
+	if stats.Chunks != 8*60+60 {
+		t.Errorf("stats.Chunks = %d, want %d", stats.Chunks, 8*60+60)
+	}
+}

@@ -47,6 +47,15 @@ type Config struct {
 	// Resources is the admission-control budget for database-side
 	// activities and streams.
 	Resources sched.Resources
+	// Workers bounds the wavefront executor for sessions on this
+	// database: activities in the same dependency level of a graph tick
+	// concurrently on up to this many lanes.  Zero means GOMAXPROCS;
+	// one forces serial execution.  Sessions may override per stream
+	// with Session.SetWorkers.
+	Workers int
+	// Cache configures per-stream chunk caching and lookahead
+	// prefetching in the media store; the zero value disables it.
+	Cache storage.CachePolicy
 }
 
 // Database is one AV database instance.
@@ -66,11 +75,16 @@ type Database struct {
 	clock     *sched.VirtualClock
 	links     *linkStore
 
+	workers int // executor lanes for sessions; 0 = GOMAXPROCS
+
 	mu          sync.Mutex
 	nextSession int
 	segments    map[string]storage.SegID // "oid/attr[/track]" -> segment
 	obsC        *obs.Collector
 }
+
+// Workers reports the database-wide executor lane bound.
+func (db *Database) Workers() int { return db.workers }
 
 // Open creates a database.  Devices and network links are registered
 // afterwards through Devices() and Network().  It fails on an invalid
@@ -98,7 +112,9 @@ func Open(cfg Config) (*Database, error) {
 		clock:     sched.NewVirtualClock(0),
 		links:     newLinkStore(),
 		segments:  make(map[string]storage.SegID),
+		workers:   cfg.Workers,
 	}
+	db.mediaSt.SetCachePolicy(cfg.Cache)
 	db.engine = query.NewEngine(db.schema, db.objects)
 	return db, nil
 }

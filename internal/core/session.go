@@ -36,7 +36,17 @@ type Session struct {
 	devices  []string
 	playback *Playback
 	closed   bool
+	workers  int        // 0 inherits the database's Workers setting
 	span     obs.SpanID // session span when observability is on
+}
+
+// SetWorkers overrides the database's executor lane bound for this
+// session's streams.  Zero restores the database default; one forces
+// serial execution.  Configure before Start.
+func (s *Session) SetWorkers(n int) {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
 }
 
 // Connect opens a session for a client reachable over the given network
@@ -277,8 +287,12 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 	}
 	p := &Playback{graph: s.graph, done: make(chan struct{})}
 	s.playback = p
+	workers := s.workers
+	if workers == 0 {
+		workers = s.db.workers
+	}
 	cfg := activity.RunConfig{
-		Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks,
+		Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks, Workers: workers,
 		Obs: s.db.sink(), ObsParent: s.span,
 	}
 	// The playback goroutine carries pprof labels so CPU and goroutine

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// Wall-clock columns are hardware noise, so Scale stays out of the
+// golden corpus; the determinism and accounting columns are pinned
+// here instead.
+func TestScaleArmsAreIdentical(t *testing.T) {
+	res, err := Scale(4, 20, []int{1, 2, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(res.Runs))
+	}
+	// 4 lanes x 20 frames x 2 hops (src→fil, fil→sink) chunks.
+	const wantChunks = 4 * 20 * 2
+	for _, run := range res.Runs {
+		if !run.Identical {
+			t.Errorf("workers=%d arm diverged from serial baseline", run.Workers)
+		}
+		if run.Chunks != wantChunks {
+			t.Errorf("workers=%d: chunks = %d, want %d", run.Workers, run.Chunks, wantChunks)
+		}
+		if run.Speedup <= 0 {
+			t.Errorf("workers=%d: speedup %.2f not positive", run.Workers, run.Speedup)
+		}
+	}
+	out := res.String()
+	for _, needle := range []string{"workers", "identical", "GOMAXPROCS"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("rendition missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestScaleRejectsBadArgs(t *testing.T) {
+	if _, err := Scale(0, 10, []int{1}); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := Scale(4, 10, nil); err == nil {
+		t.Error("empty worker sweep accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"avdb/internal/avtime"
+)
+
+func TestAdvanceGateCommitAndDrain(t *testing.T) {
+	c := NewVirtualClock(0)
+	g := NewAdvanceGate(c)
+	g.Propose(50 * avtime.Millisecond)
+	g.Propose(40 * avtime.Millisecond) // lower proposal never wins
+	if got := g.Latest(); got != 50*avtime.Millisecond {
+		t.Errorf("Latest = %v", got)
+	}
+	g.CommitTick(33 * avtime.Millisecond)
+	if c.Now() != 33*avtime.Millisecond {
+		t.Errorf("CommitTick left clock at %v", c.Now())
+	}
+	// Proposals alone never move the clock; Drain extends it to cover
+	// the latest one.
+	if got := g.Drain(); got != 50*avtime.Millisecond {
+		t.Errorf("Drain = %v, want 50ms", got)
+	}
+	if c.Now() != 50*avtime.Millisecond {
+		t.Errorf("clock after drain = %v", c.Now())
+	}
+}
+
+func TestAdvanceGateDrainNeverRewinds(t *testing.T) {
+	c := NewVirtualClock(0)
+	g := NewAdvanceGate(c)
+	g.Propose(10 * avtime.Millisecond)
+	g.CommitTick(100 * avtime.Millisecond)
+	if got := g.Drain(); got != 100*avtime.Millisecond {
+		t.Errorf("Drain rewound the clock to %v", got)
+	}
+}
+
+func TestAdvanceGateConcurrentProposals(t *testing.T) {
+	c := NewVirtualClock(0)
+	g := NewAdvanceGate(c)
+	var wg sync.WaitGroup
+	for lane := 1; lane <= 8; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Propose(avtime.WorldTime(lane*100 + i))
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if got := g.Latest(); got != 899 {
+		t.Errorf("Latest = %v, want 899", got)
+	}
+}
+
+func TestAdvanceGateNeedsClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil clock accepted")
+		}
+	}()
+	NewAdvanceGate(nil)
+}

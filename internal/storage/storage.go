@@ -79,6 +79,23 @@ type Store struct {
 	nextID   SegID
 	segments map[SegID]*Segment
 	sink     obs.Sink
+	policy   CachePolicy
+}
+
+// SetCachePolicy configures chunk caching for streams opened afterwards;
+// already-open streams keep the policy they were opened with.  The zero
+// policy disables caching.
+func (st *Store) SetCachePolicy(p CachePolicy) {
+	st.mu.Lock()
+	st.policy = p
+	st.mu.Unlock()
+}
+
+// CachePolicy reports the store's current cache policy.
+func (st *Store) CachePolicy() CachePolicy {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.policy
 }
 
 // SetSink installs an observability sink.  Streams opened afterwards
@@ -281,7 +298,8 @@ type Stream struct {
 	open    bool
 	startup avtime.WorldTime // positioning cost charged on the first read
 	bytes   int64
-	sink    obs.Sink // copied from the store at open time
+	sink    obs.Sink    // copied from the store at open time
+	cache   *chunkCache // nil when the store's policy disables caching
 }
 
 // OpenStream reserves rate on the segment's device and returns a stream.
@@ -324,11 +342,16 @@ func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.Worl
 	}
 	st.mu.Lock()
 	sink := st.sink
+	policy := st.policy
 	st.mu.Unlock()
 	if sink != nil {
 		sink.Count("storage.streams_opened", 1)
 	}
-	return &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup, sink: sink}, startup, nil
+	stream := &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup, sink: sink}
+	if policy.Enabled() {
+		stream.cache = newChunkCache(policy)
+	}
+	return stream, startup, nil
 }
 
 // Segment returns the streamed segment.
@@ -355,6 +378,11 @@ func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 	if !s.open {
 		return 0, fmt.Errorf("%w: read on closed stream", ErrStreamClosed)
 	}
+	return s.readLocked(bytes)
+}
+
+// readLocked prices one device read; the caller holds s.mu.
+func (s *Stream) readLocked(bytes int64) (avtime.WorldTime, error) {
 	var extra avtime.WorldTime
 	if f, ok := s.dev.(device.Faultable); ok {
 		dt, err := f.CheckRead(bytes)
@@ -376,6 +404,80 @@ func (s *Stream) ReadTime(bytes int64) (avtime.WorldTime, error) {
 		s.sink.Observe("storage.read_time_us", int64(t))
 	}
 	return t, nil
+}
+
+// ReadChunkTime accounts a read of the segment's idx'th chunk and
+// reports the world time it occupies.  Without a cache policy it behaves
+// exactly like ReadTime.  With one, a resident chunk costs zero device
+// time — the prefetcher staged it overlapped with earlier playback, on
+// bandwidth the stream already has reserved — and the fault hook is not
+// consulted because no device access happens.  A demand miss pays the
+// full device read (including any startup cost and injected faults),
+// then stages the next Lookahead chunks.
+func (s *Stream) ReadChunkTime(idx int, bytes int64) (avtime.WorldTime, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative read %d", bytes)
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("storage: negative chunk index %d", idx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return 0, fmt.Errorf("%w: read on closed stream", ErrStreamClosed)
+	}
+	if s.cache == nil {
+		return s.readLocked(bytes)
+	}
+	if s.cache.contains(idx) {
+		s.cache.touch(idx)
+		s.bytes += bytes
+		s.cache.stats.Hits++
+		if s.sink != nil {
+			s.sink.Count("storage.cache.hits", 1)
+		}
+		return 0, nil
+	}
+	t, err := s.readLocked(bytes)
+	s.cache.stats.Misses++
+	if s.sink != nil {
+		s.sink.Count("storage.cache.misses", 1)
+	}
+	if err != nil {
+		return t, err
+	}
+	evicted := s.cache.insert(idx)
+	staged := 0
+	lookahead := s.cache.policy.Lookahead
+	limit := s.seg.frames - 1
+	for k := idx + 1; k <= idx+lookahead && k <= limit; k++ {
+		if !s.cache.contains(k) {
+			evicted += s.cache.insert(k)
+			staged++
+		}
+	}
+	s.cache.stats.Prefetched += int64(staged)
+	s.cache.stats.Evicted += int64(evicted)
+	if s.sink != nil {
+		if staged > 0 {
+			s.sink.Count("storage.cache.prefetched", int64(staged))
+		}
+		if evicted > 0 {
+			s.sink.Count("storage.cache.evicted", int64(evicted))
+		}
+	}
+	return t, nil
+}
+
+// CacheStats reports the stream's cache behavior; the zero value when
+// caching is disabled.
+func (s *Stream) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats
 }
 
 // BytesRead reports the bytes accounted so far.
