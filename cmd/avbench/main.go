@@ -14,6 +14,9 @@
 //	avbench -exp scale -workers 4
 //	                         # wavefront scaling sweep: serial vs 2 vs
 //	                         # 4 worker lanes on an 8-wide graph
+//	avbench -exp stripe -width 4
+//	                         # striped placement + SCAN-EDF rounds vs
+//	                         # single-disk multi-stream reads
 package main
 
 import (
@@ -87,7 +90,7 @@ func scaleSweep(workers int) []int {
 	return sweep
 }
 
-func runners(metrics, trace bool, workers int) []runner {
+func runners(metrics, trace bool, workers, width int) []runner {
 	return []runner{
 		{"rates", "media data rates and measured compression", func(int) (fmt.Stringer, error) {
 			return experiment.Rates()
@@ -146,6 +149,9 @@ func runners(metrics, trace bool, workers int) []runner {
 		{"scale", "wavefront scaling: serial vs parallel execution of a wide graph", func(frames int) (fmt.Stringer, error) {
 			return experiment.Scale(8, frames, scaleSweep(workers))
 		}},
+		{"stripe", "striped placement + SCAN-EDF rounds vs single-disk reads", func(frames int) (fmt.Stringer, error) {
+			return experiment.Stripe(frames, width)
+		}},
 	}
 }
 
@@ -156,9 +162,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the full metric registry after the obs experiment")
 	trace := flag.Bool("trace", false, "print the span tree after the obs experiment")
 	workers := flag.Int("workers", 0, "top worker count for the scale experiment (0 = GOMAXPROCS)")
+	width := flag.Int("width", 4, "stripe width for the stripe experiment")
 	flag.Parse()
 
-	rs := runners(*metrics, *trace, *workers)
+	rs := runners(*metrics, *trace, *workers, *width)
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-8s %s\n", r.name, r.desc)

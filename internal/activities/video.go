@@ -115,13 +115,17 @@ func (r *VideoReader) Degrade(v media.Value, port string) error {
 // transient faults under the configured policy.  Reads go through the
 // chunk-indexed path so a store cache policy can serve prefetched frames
 // without device time; with no policy it costs exactly a plain read.
-func (r *VideoReader) readTime(idx int, bytes int64) (avtime.WorldTime, error) {
-	if !r.haveRetry {
-		return r.stream.ReadChunkTime(idx, bytes)
+// The read is tagged with the tick number and the frame's playback
+// deadline (its presentation tick), so a round-scheduling store can
+// batch it SCAN-EDF with the other streams of the same wavefront tick.
+func (r *VideoReader) readTime(tc *activity.TickContext, idx int, bytes int64) (avtime.WorldTime, error) {
+	read := func() (avtime.WorldTime, error) {
+		return r.stream.ReadChunkTimeAt(idx, bytes, int64(tc.Seq), tc.Now, tc.Now)
 	}
-	dt, attempts, err := r.retry.Do(func() (avtime.WorldTime, error) {
-		return r.stream.ReadChunkTime(idx, bytes)
-	})
+	if !r.haveRetry {
+		return read()
+	}
+	dt, attempts, err := r.retry.Do(read)
 	r.retries += attempts - 1
 	return dt, err
 }
@@ -153,7 +157,7 @@ func (r *VideoReader) Tick(tc *activity.TickContext) error {
 	}
 	c := &activity.Chunk{Seq: r.pos, At: tc.Now, Arrived: tc.Now, Payload: el}
 	if r.stream != nil {
-		dt, err := r.readTime(r.pos, el.Size())
+		dt, err := r.readTime(tc, r.pos, el.Size())
 		if err != nil {
 			if !r.dropOnErr {
 				return err

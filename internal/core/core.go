@@ -56,6 +56,14 @@ type Config struct {
 	// Cache configures per-stream chunk caching and lookahead
 	// prefetching in the media store; the zero value disables it.
 	Cache storage.CachePolicy
+	// Striping configures striped placement and round-based SCAN-EDF
+	// disk scheduling in the media store: Width > 1 stripes automatic
+	// placements over that many disks, Seeks prices every demand chunk
+	// read with a positioning cost, Rounds batches co-admitted streams'
+	// chunk requests into per-disk service rounds.  The zero value
+	// changes nothing.  Sessions may override per stream with
+	// Session.SetStriping.
+	Striping storage.StripePolicy
 }
 
 // Database is one AV database instance.
@@ -115,6 +123,7 @@ func Open(cfg Config) (*Database, error) {
 		workers:   cfg.Workers,
 	}
 	db.mediaSt.SetCachePolicy(cfg.Cache)
+	db.mediaSt.SetStriping(cfg.Striping)
 	db.engine = query.NewEngine(db.schema, db.objects)
 	return db, nil
 }
@@ -349,10 +358,36 @@ func (db *Database) PlaceMedia(oid schema.OID, attr string, deviceID string, rat
 	}
 	var seg *storage.Segment
 	if deviceID == "" {
-		seg, err = db.mediaSt.PlaceAuto(d.MediaVal(), rate)
+		if w := db.mediaSt.Striping().Width; w > 1 {
+			seg, err = db.mediaSt.PlaceStriped(d.MediaVal(), rate, w)
+		} else {
+			seg, err = db.mediaSt.PlaceAuto(d.MediaVal(), rate)
+		}
 	} else {
 		seg, err = db.mediaSt.Place(d.MediaVal(), deviceID)
 	}
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.segments[placementKey(oid, attr, "")] = seg.ID()
+	db.mu.Unlock()
+	return seg, nil
+}
+
+// PlaceMediaStriped stores a media attribute's value striped round-robin
+// over width disks (chosen load-aware) and remembers the placement.
+// Streams bound to it later reserve a 1/width share of their rate on
+// every stripe disk, multiplying the bandwidth one stream can draw.
+func (db *Database) PlaceMediaStriped(oid schema.OID, attr string, rate media.DataRate, width int) (*storage.Segment, error) {
+	d, err := db.GetAttr(oid, attr)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind() != schema.KindMedia {
+		return nil, fmt.Errorf("core: %v.%s is %v, not media", oid, attr, d.Kind())
+	}
+	seg, err := db.mediaSt.PlaceStriped(d.MediaVal(), rate, width)
 	if err != nil {
 		return nil, err
 	}

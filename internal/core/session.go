@@ -36,8 +36,9 @@ type Session struct {
 	devices  []string
 	playback *Playback
 	closed   bool
-	workers  int        // 0 inherits the database's Workers setting
-	span     obs.SpanID // session span when observability is on
+	workers  int                   // 0 inherits the database's Workers setting
+	striping *storage.StripePolicy // nil inherits the store's policy
+	span     obs.SpanID            // session span when observability is on
 }
 
 // SetWorkers overrides the database's executor lane bound for this
@@ -47,6 +48,45 @@ func (s *Session) SetWorkers(n int) {
 	s.mu.Lock()
 	s.workers = n
 	s.mu.Unlock()
+}
+
+// SetStriping overrides the store's stripe policy for streams this
+// session binds afterwards (the Width field is placement-time and has no
+// effect here; Seeks and Rounds govern how the session's reads are
+// priced and scheduled).  Configure before binding values.
+func (s *Session) SetStriping(p storage.StripePolicy) {
+	s.mu.Lock()
+	s.striping = &p
+	s.mu.Unlock()
+}
+
+// InstallStriped is Install for an activity consuming a striped stream:
+// the admission reservation spans the stripe, scaling the buffer demand
+// by width while bus and CPU stay one stream's worth.
+func (s *Session) InstallStriped(act activity.Activity, res sched.Resources, width int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: %s", ErrSessionClosed, s.id)
+	}
+	var g *sched.Grant
+	if act.Location() == activity.AtDatabase && !res.IsZero() {
+		var err error
+		g, err = s.db.admission.ReserveStriped(res, width)
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.graph.Add(act); err != nil {
+		if g != nil {
+			g.Release()
+		}
+		return err
+	}
+	if g != nil {
+		s.grants = append(s.grants, g)
+	}
+	return nil
 }
 
 // Connect opens a session for a client reachable over the given network
@@ -235,7 +275,16 @@ func (s *Session) attachPlacement(oid schema.OID, attr, track string, act activi
 	if !ok {
 		return nil
 	}
-	stream, _, err := s.db.mediaSt.OpenStream(seg.ID(), rate)
+	s.mu.Lock()
+	override := s.striping
+	s.mu.Unlock()
+	var stream *storage.Stream
+	var err error
+	if override != nil {
+		stream, _, err = s.db.mediaSt.OpenStreamWith(seg.ID(), rate, *override)
+	} else {
+		stream, _, err = s.db.mediaSt.OpenStream(seg.ID(), rate)
+	}
 	if err != nil {
 		return err
 	}

@@ -154,9 +154,11 @@ type Disk struct {
 	seek     avtime.WorldTime
 	bw       bwAccount
 
-	mu   sync.Mutex
-	used int64
-	hook FaultHook
+	mu     sync.Mutex
+	used   int64
+	hook   FaultHook
+	tracks int              // >1 enables the positional seek model
+	settle avtime.WorldTime // cost of the shortest positioned seek
 }
 
 // NewDisk returns a disk with the given geometry.
@@ -243,6 +245,79 @@ func (d *Disk) TransferTime(bytes int64, seeks int) avtime.WorldTime {
 
 // SeekTime reports one average positioning time.
 func (d *Disk) SeekTime() avtime.WorldTime { return d.seek }
+
+// SetGeometry gives the disk a positional model: the capacity is divided
+// into tracks and a seek between two tracks costs settle plus a
+// distance-proportional component that reaches the disk's full seek time
+// at maximum span.  tracks <= 1 restores the flat model, under which
+// SeekBetween always reports the average seek — the degenerate
+// configuration every disk starts in, so existing cost accounting is
+// unchanged until a geometry is installed.  settle must lie in
+// [0, seek].
+func (d *Disk) SetGeometry(tracks int, settle avtime.WorldTime) error {
+	if settle < 0 || settle > d.seek {
+		return fmt.Errorf("device: disk %q settle %v outside [0, %v]", d.id, settle, d.seek)
+	}
+	if tracks < 1 {
+		tracks = 1
+	}
+	d.mu.Lock()
+	d.tracks, d.settle = tracks, settle
+	d.mu.Unlock()
+	return nil
+}
+
+// Tracks reports the number of tracks in the positional model; 1 when
+// the disk uses the flat seek model.
+func (d *Disk) Tracks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tracks < 1 {
+		return 1
+	}
+	return d.tracks
+}
+
+// TrackOf maps a byte offset to the track holding it.  Offsets are
+// clamped into the disk, so callers may pass allocation-relative
+// positions without range checks.
+func (d *Disk) TrackOf(offset int64) int {
+	tracks := int64(d.Tracks())
+	if tracks <= 1 || offset <= 0 {
+		return 0
+	}
+	if offset >= d.capacity {
+		offset = d.capacity - 1
+	}
+	per := (d.capacity + tracks - 1) / tracks
+	return int(offset / per)
+}
+
+// SeekBetween reports the positioning cost of moving the head from one
+// track to another.  Under the flat model (tracks <= 1) it is the
+// average seek regardless of arguments; under a geometry, staying on the
+// same track is free and the cost grows linearly with distance from
+// settle up to the full average seek across the whole platter.
+func (d *Disk) SeekBetween(from, to int) avtime.WorldTime {
+	d.mu.Lock()
+	tracks, settle := d.tracks, d.settle
+	d.mu.Unlock()
+	if tracks <= 1 {
+		return d.seek
+	}
+	if from == to {
+		return 0
+	}
+	dist := int64(from - to)
+	if dist < 0 {
+		dist = -dist
+	}
+	span := int64(tracks - 1)
+	if dist > span {
+		dist = span
+	}
+	return settle + avtime.WorldTime(int64(d.seek-settle)*dist/span)
+}
 
 // SetFaultHook implements Faultable.
 func (d *Disk) SetFaultHook(h FaultHook) {

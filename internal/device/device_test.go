@@ -327,3 +327,78 @@ func TestManagerReleaseAll(t *testing.T) {
 		t.Error("bob's device released")
 	}
 }
+
+func TestDiskFlatSeekModel(t *testing.T) {
+	d := testDisk()
+	if got := d.Tracks(); got != 1 {
+		t.Fatalf("fresh disk has %d tracks, want 1", got)
+	}
+	// Under the degenerate single-track model every positioning costs
+	// the flat average seek, and every offset is on track 0 — the
+	// behavior all pre-geometry accounting was built on.
+	if got := d.SeekBetween(0, 0); got != d.SeekTime() {
+		t.Fatalf("flat SeekBetween = %v, want %v", got, d.SeekTime())
+	}
+	if got := d.SeekBetween(3, 7); got != d.SeekTime() {
+		t.Fatalf("flat SeekBetween(3,7) = %v, want %v", got, d.SeekTime())
+	}
+	if got := d.TrackOf(999_999); got != 0 {
+		t.Fatalf("flat TrackOf = %d, want 0", got)
+	}
+}
+
+func TestDiskGeometrySeeks(t *testing.T) {
+	d := testDisk() // 1MB, seek 10ms
+	settle := avtime.WorldTime(1 * avtime.Millisecond)
+	if err := d.SetGeometry(11, settle); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Tracks(); got != 11 {
+		t.Fatalf("Tracks = %d, want 11", got)
+	}
+	if got := d.SeekBetween(4, 4); got != 0 {
+		t.Fatalf("same-track seek = %v, want 0", got)
+	}
+	// Distance scales linearly from settle to the full average seek.
+	adj := d.SeekBetween(4, 5)
+	want := settle + (d.SeekTime()-settle)/10
+	if adj != want {
+		t.Fatalf("adjacent seek = %v, want %v", adj, want)
+	}
+	if got := d.SeekBetween(0, 10); got != d.SeekTime() {
+		t.Fatalf("full-span seek = %v, want %v", got, d.SeekTime())
+	}
+	if a, b := d.SeekBetween(2, 9), d.SeekBetween(9, 2); a != b {
+		t.Fatalf("seek not symmetric: %v vs %v", a, b)
+	}
+	// TrackOf partitions the capacity; out-of-range offsets clamp.
+	if got := d.TrackOf(0); got != 0 {
+		t.Fatalf("TrackOf(0) = %d, want 0", got)
+	}
+	if got := d.TrackOf(d.Capacity() + 5); got != 10 {
+		t.Fatalf("TrackOf(beyond) = %d, want 10", got)
+	}
+	if got := d.TrackOf(-1); got != 0 {
+		t.Fatalf("TrackOf(-1) = %d, want 0", got)
+	}
+}
+
+func TestDiskGeometryValidation(t *testing.T) {
+	d := testDisk()
+	if err := d.SetGeometry(8, -1); err == nil {
+		t.Fatal("negative settle accepted")
+	}
+	if err := d.SetGeometry(8, d.SeekTime()+1); err == nil {
+		t.Fatal("settle above seek accepted")
+	}
+	// tracks <= 1 restores the flat model.
+	if err := d.SetGeometry(16, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetGeometry(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SeekBetween(1, 1); got != d.SeekTime() {
+		t.Fatalf("flat model not restored: SeekBetween = %v", got)
+	}
+}

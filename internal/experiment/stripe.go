@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+
+	"avdb/internal/avtime"
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/storage"
+)
+
+// The striping experiment: the same multi-stream read workload — 2×width
+// concurrent streams, each pulling every frame of its own clip — runs
+// under three storage configurations and reports the aggregate
+// virtual-time read throughput of each:
+//
+//  1. single disk: every clip on one spindle, contended pricing (each
+//     demand chunk pays a positioning cost — the heads of 2×width
+//     interleaved streams keep stealing each other's position).
+//  2. striped, demand reads: clips striped round-robin over width disks,
+//     each stream reserving a 1/width rate share per disk.  Bandwidth
+//     multiplies, but every chunk still seeks.
+//  3. striped + SCAN-EDF rounds: as 2, with each tick's chunk requests
+//     batched per disk, ordered by (deadline, track) and charged one
+//     positioned seek per run of adjacent tracks.
+//
+// Everything is virtual time, so the table is deterministic and golden.
+
+// stripeSeek is the average positioning time of the experiment's disks;
+// stripeTracks/stripeSettle give them a positional geometry so SCAN
+// ordering has distances to amortize.
+const (
+	stripeSeek   = 10 * avtime.Millisecond
+	stripeSettle = 1 * avtime.Millisecond
+	stripeTracks = 16
+)
+
+// StripeArm is one storage configuration under the common workload.
+type StripeArm struct {
+	Name       string
+	Width      int              // disks a clip spans
+	Rate       media.DataRate   // per-stream reserved rate (spanning the stripe)
+	StreamTime avtime.WorldTime // slowest stream's total read time
+	Bytes      int64            // total bytes delivered to all streams
+	Throughput float64          // aggregate MB/s of virtual read time
+	Speedup    float64          // vs the single-disk arm
+	IO         storage.IOStats
+}
+
+// StripeResult is the three-arm comparison.
+type StripeResult struct {
+	Streams int
+	Frames  int
+	DiskBW  media.DataRate // per-disk bandwidth
+	Arms    []StripeArm
+}
+
+// stripeArm runs the workload under one configuration and returns the
+// measured arm.
+func stripeArm(name string, frames, streams, width int, rate media.DataRate, policy storage.StripePolicy) (StripeArm, error) {
+	frameBytes := int64(clipW * clipH * clipDepth / 8)
+	diskBW := media.DataRate(streams) * media.MBPerSecond
+	// Every arm gets enough capacity for the whole corpus on one disk,
+	// so placement never fails for space reasons.
+	capacity := 2 * int64(streams) * int64(frames) * frameBytes
+	dm := device.NewManager()
+	nDisks := width
+	if nDisks < 1 {
+		nDisks = 1
+	}
+	for i := 0; i < nDisks; i++ {
+		d := device.NewDisk(fmt.Sprintf("disk%d", i), capacity, diskBW, stripeSeek)
+		if err := d.SetGeometry(stripeTracks, stripeSettle); err != nil {
+			return StripeArm{}, err
+		}
+		if err := dm.Register(d); err != nil {
+			return StripeArm{}, err
+		}
+	}
+	st := storage.NewStore(dm)
+	st.SetStriping(policy)
+	unit := media.TypeRawVideo30.Rate.UnitDuration()
+	type lane struct {
+		stream *storage.Stream
+	}
+	lanes := make([]lane, streams)
+	for j := 0; j < streams; j++ {
+		clip := stdClip(frames, int64(j+1))
+		var seg *storage.Segment
+		var err error
+		if width > 1 {
+			seg, err = st.PlaceStriped(clip, rate, width)
+		} else {
+			seg, err = st.Place(clip, "disk0")
+		}
+		if err != nil {
+			return StripeArm{}, fmt.Errorf("experiment: stripe arm %q place: %w", name, err)
+		}
+		stream, _, err := st.OpenStream(seg.ID(), rate)
+		if err != nil {
+			return StripeArm{}, fmt.Errorf("experiment: stripe arm %q open: %w", name, err)
+		}
+		lanes[j].stream = stream
+	}
+	perStream := make([]avtime.WorldTime, streams)
+	for t := 0; t < frames; t++ {
+		now := avtime.WorldTime(t) * unit
+		for j := range lanes {
+			dt, err := lanes[j].stream.ReadChunkTimeAt(t, frameBytes, int64(t), now, now)
+			if err != nil {
+				return StripeArm{}, fmt.Errorf("experiment: stripe arm %q read: %w", name, err)
+			}
+			perStream[j] += dt
+		}
+	}
+	for j := range lanes {
+		lanes[j].stream.Close()
+	}
+	var worst avtime.WorldTime
+	for _, pt := range perStream {
+		if pt > worst {
+			worst = pt
+		}
+	}
+	total := int64(streams) * int64(frames) * frameBytes
+	arm := StripeArm{
+		Name:       name,
+		Width:      width,
+		Rate:       rate,
+		StreamTime: worst,
+		Bytes:      total,
+		IO:         st.IOStats(),
+	}
+	if worst > 0 {
+		arm.Throughput = float64(total) / (float64(worst) / float64(avtime.Second)) / (1 << 20)
+	}
+	return arm, nil
+}
+
+// Stripe runs the three-arm striping comparison: 2×width streams of
+// `frames` frames each, single-disk vs striped-demand vs striped with
+// SCAN-EDF service rounds.  Stream rates are the admission maximum of
+// each configuration: diskBW/streams on one disk, width times that over
+// a stripe — striping is precisely what lets a stream reserve past one
+// spindle.
+func Stripe(frames, width int) (*StripeResult, error) {
+	if frames < 2 || width < 2 {
+		return nil, fmt.Errorf("experiment: stripe needs frames >= 2 and width >= 2")
+	}
+	streams := 2 * width
+	diskBW := media.DataRate(streams) * media.MBPerSecond
+	singleRate := diskBW / media.DataRate(streams)
+	stripedRate := singleRate * media.DataRate(width)
+	res := &StripeResult{Streams: streams, Frames: frames, DiskBW: diskBW}
+	arms := []struct {
+		name   string
+		width  int
+		rate   media.DataRate
+		policy storage.StripePolicy
+	}{
+		{"single disk", 1, singleRate, storage.StripePolicy{Seeks: true}},
+		{"striped demand", width, stripedRate, storage.StripePolicy{Seeks: true}},
+		{"striped scan-edf", width, stripedRate, storage.StripePolicy{Seeks: true, Rounds: true}},
+	}
+	for _, a := range arms {
+		arm, err := stripeArm(a.name, frames, streams, a.width, a.rate, a.policy)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Arms) > 0 && res.Arms[0].Throughput > 0 {
+			arm.Speedup = arm.Throughput / res.Arms[0].Throughput
+		} else {
+			arm.Speedup = 1
+		}
+		res.Arms = append(res.Arms, arm)
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *StripeResult) String() string {
+	header := []string{"arm", "width", "stream rate", "stream time", "agg MB/s", "speedup", "seeks", "saved", "misses", "max batch"}
+	rows := make([][]string, 0, len(r.Arms))
+	for _, a := range r.Arms {
+		rows = append(rows, []string{
+			a.Name,
+			fmt.Sprint(a.Width),
+			a.Rate.String(),
+			a.StreamTime.String(),
+			fmt.Sprintf("%.2f", a.Throughput),
+			fmt.Sprintf("%.2fx", a.Speedup),
+			fmt.Sprint(a.IO.SeeksCharged),
+			fmt.Sprint(a.IO.SeeksSaved),
+			fmt.Sprint(a.IO.DeadlineMisses),
+			fmt.Sprint(a.IO.MaxBatch),
+		})
+	}
+	s := fmt.Sprintf("Stripe: %d streams x %d frames, %v per disk; round-robin striping + SCAN-EDF service rounds\n",
+		r.Streams, r.Frames, r.DiskBW)
+	s += "per-stream rates are each configuration's admission maximum; all times are virtual\n\n"
+	s += table(header, rows)
+	return s
+}

@@ -1,0 +1,302 @@
+package storage
+
+// sched.go implements IOSched, the per-device round scheduler.  Streams
+// driven by the wavefront executor submit the *next* chunk they will
+// need while consuming the current one; all requests submitted during
+// one graph tick form a round.  When the first stream of a later tick
+// consumes its result, every complete earlier round is serviced: each
+// disk's batch is ordered SCAN-EDF — earliest playback deadline first,
+// ties by track position, then stream — and charged one positioned seek
+// per run of adjacent tracks instead of one full seek per chunk.
+//
+// Determinism under parallel execution is structural.  The executor's
+// tick barrier guarantees that every submission of round T happens
+// before any activity of tick T+1 runs, so by the time flushBefore(T+1)
+// fires, round T's batch content is complete and identical no matter how
+// many workers raced through tick T.  The SCAN-EDF sort key (deadline,
+// track, stream, chunk) is total, so the service order — and with it the
+// per-disk head walk, every seek charge and every counter — is
+// independent of submission order.  Within one flush, rounds are
+// serviced in ascending round order and disks in ID order.
+//
+// IOSched runs entirely in virtual time: servicing a batch prices the
+// requests, it does not block anything.
+
+import (
+	"sort"
+	"sync"
+
+	"avdb/internal/avtime"
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/obs"
+)
+
+// ioReq is one stream's request for one chunk, tagged with the playback
+// deadline its consumer attached.
+type ioReq struct {
+	sid      int64 // submitting stream
+	chunk    int
+	bytes    int64
+	disk     *device.Disk
+	track    int
+	rate     media.DataRate   // stream rate, prices the transfer
+	now      avtime.WorldTime // submission (tick) time
+	deadline avtime.WorldTime // when the chunk must be presentable
+}
+
+// ioResult is a serviced request waiting for its stream to consume it.
+type ioResult struct {
+	chunk int
+	cost  avtime.WorldTime // what the consuming read is charged
+}
+
+// IOStats summarizes the scheduler's behavior.
+type IOStats struct {
+	Rounds         int64 // service rounds completed
+	Batches        int64 // per-disk batches serviced
+	Scheduled      int64 // requests serviced inside rounds
+	Demand         int64 // chunk reads that bypassed the rounds
+	SeeksCharged   int64 // positioning costs actually charged (incl. demand)
+	SeeksSaved     int64 // scheduled requests that rode an adjacent run for free
+	DeadlineMisses int64 // requests whose disk finished past their deadline
+	MaxBatch       int   // largest per-disk batch seen
+}
+
+// IOSched batches chunk requests into per-device service rounds.
+type IOSched struct {
+	mu      sync.Mutex
+	sink    obs.Sink
+	pending map[int64]map[string]map[int64]ioReq // round -> disk -> stream -> request
+	results map[int64]ioResult                   // stream -> last serviced request
+	heads   map[string]int                       // disk -> head track after last round
+	flushed int64                                // rounds below this are serviced
+	stats   IOStats
+}
+
+func newIOSched(sink obs.Sink) *IOSched {
+	return &IOSched{
+		sink:    sink,
+		pending: make(map[int64]map[string]map[int64]ioReq),
+		results: make(map[int64]ioResult),
+		heads:   make(map[string]int),
+	}
+}
+
+// setSink swaps the observability sink (streams opened later observe
+// through the store's current sink; the scheduler follows it).
+func (io *IOSched) setSink(s obs.Sink) {
+	io.mu.Lock()
+	io.sink = s
+	io.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (io *IOSched) Stats() IOStats {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	return io.stats
+}
+
+// submit queues a request into the given round.  A stream resubmitting
+// in the same round replaces its previous request, so retried reads stay
+// idempotent.
+func (io *IOSched) submit(round int64, q ioReq) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if round < io.flushed {
+		// The round was already serviced (a straggler after a seek or
+		// degrade); the request becomes a demand read at consumption.
+		return
+	}
+	byDev := io.pending[round]
+	if byDev == nil {
+		byDev = make(map[string]map[int64]ioReq)
+		io.pending[round] = byDev
+	}
+	bySid := byDev[q.disk.ID()]
+	if bySid == nil {
+		bySid = make(map[int64]ioReq)
+		byDev[q.disk.ID()] = bySid
+	}
+	bySid[q.sid] = q
+}
+
+// flushBefore services every pending round strictly below round, in
+// ascending order.  The caller's tick barrier guarantees those rounds
+// are complete.
+func (io *IOSched) flushBefore(round int64) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if round <= io.flushed {
+		return
+	}
+	var due []int64
+	for r := range io.pending {
+		if r < round {
+			due = append(due, r)
+		}
+	}
+	io.flushed = round
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, r := range due {
+		byDev := io.pending[r]
+		delete(io.pending, r)
+		devs := make([]string, 0, len(byDev))
+		for id := range byDev {
+			devs = append(devs, id)
+		}
+		sort.Strings(devs)
+		for _, id := range devs {
+			io.serviceLocked(id, byDev[id])
+		}
+		io.stats.Rounds++
+		if io.sink != nil {
+			io.sink.Count("storage.iosched.rounds", 1)
+		}
+	}
+}
+
+// serviceLocked prices one disk's batch SCAN-EDF; io.mu is held.
+func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
+	batch := make([]ioReq, 0, len(bySid))
+	for _, q := range bySid {
+		batch = append(batch, q)
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.deadline != b.deadline {
+			return a.deadline < b.deadline
+		}
+		if a.track != b.track {
+			return a.track < b.track
+		}
+		if a.sid != b.sid {
+			return a.sid < b.sid
+		}
+		return a.chunk < b.chunk
+	})
+	pos := io.heads[devID]
+	start := batch[0].now
+	for _, q := range batch {
+		if q.now < start {
+			start = q.now
+		}
+	}
+	var busy avtime.WorldTime
+	var misses, charged, saved int64
+	for i, q := range batch {
+		var seek avtime.WorldTime
+		if i == 0 || abs(q.track-pos) > 1 {
+			// A new run: position the head.  Adjacent tracks ride the
+			// previous transfer's momentum for free.
+			seek = q.disk.SeekBetween(pos, q.track)
+		}
+		if seek > 0 {
+			charged++
+		} else {
+			saved++
+		}
+		// The disk is busy for the seek plus the transfer at platter
+		// speed; the stream is charged the seek plus the transfer at
+		// its reserved rate.
+		busy += seek + avtime.WorldTime(q.bytes*int64(avtime.Second)/int64(q.disk.TotalBandwidth()))
+		if start+busy > q.deadline {
+			misses++
+		}
+		cost := seek
+		if q.rate > 0 {
+			cost += avtime.WorldTime(q.bytes * int64(avtime.Second) / int64(q.rate))
+		}
+		io.results[q.sid] = ioResult{chunk: q.chunk, cost: cost}
+		pos = q.track
+	}
+	io.heads[devID] = pos
+	io.stats.Batches++
+	io.stats.Scheduled += int64(len(batch))
+	io.stats.SeeksCharged += charged
+	io.stats.SeeksSaved += saved
+	io.stats.DeadlineMisses += misses
+	if len(batch) > io.stats.MaxBatch {
+		io.stats.MaxBatch = len(batch)
+	}
+	if io.sink != nil {
+		io.sink.Observe("storage.iosched.batch_size", int64(len(batch)))
+		io.sink.Count("storage.iosched.scheduled", int64(len(batch)))
+		if charged > 0 {
+			io.sink.Count("storage.iosched.seeks_charged", charged)
+		}
+		if saved > 0 {
+			io.sink.Count("storage.iosched.seeks_saved", saved)
+		}
+		if misses > 0 {
+			io.sink.Count("storage.iosched.deadline_misses", misses)
+		}
+	}
+}
+
+// take consumes the serviced result for the stream's chunk.  A stale
+// result — the stream sought or degraded past what it had prefetched —
+// is discarded so the read falls back to a demand read.
+func (io *IOSched) take(sid int64, chunk int) (ioResult, bool) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	res, ok := io.results[sid]
+	if !ok {
+		return ioResult{}, false
+	}
+	delete(io.results, sid)
+	if res.chunk != chunk {
+		return ioResult{}, false
+	}
+	return res, true
+}
+
+// peek reports whether a serviced result for the stream's chunk is
+// waiting, without consuming it; used so a faulted consumption can
+// retry.
+func (io *IOSched) peek(sid int64, chunk int) (ioResult, bool) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	res, ok := io.results[sid]
+	if !ok || res.chunk != chunk {
+		return ioResult{}, false
+	}
+	return res, true
+}
+
+// drop discards any serviced result held for the stream (cache hits and
+// closes make prefetched results moot).
+func (io *IOSched) drop(sid int64) {
+	io.mu.Lock()
+	delete(io.results, sid)
+	io.mu.Unlock()
+}
+
+// noteDemand accounts a chunk read that bypassed the rounds, and whether
+// it paid a positioning cost.
+func (io *IOSched) noteDemand(seeked bool) {
+	io.mu.Lock()
+	io.stats.Demand++
+	if seeked {
+		io.stats.SeeksCharged++
+	}
+	sink := io.sink
+	io.mu.Unlock()
+	if sink != nil {
+		sink.Count("storage.iosched.demand", 1)
+		if seeked {
+			sink.Count("storage.iosched.seeks_charged", 1)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -46,6 +46,16 @@ type Segment struct {
 	disc   int // jukebox disc, -1 on disks
 	size   int64
 	frames int
+
+	// Stripe map, nil/empty for unstriped segments.  chunkDev/chunkOff/
+	// chunkSize also serve scheduled unstriped streams (built lazily
+	// under the store lock); once built the map is immutable.
+	stripe    []string // disk IDs in round-robin order
+	base      []int64  // allocation base offset on each stripe disk
+	perDev    []int64  // bytes allocated per stripe disk
+	chunkDev  []int    // chunk -> index into stripe
+	chunkOff  []int64  // chunk -> byte offset within its disk's share
+	chunkSize []int64  // chunk -> size in bytes
 }
 
 // ID returns the segment's identifier.
@@ -65,6 +75,9 @@ func (s *Segment) Size() int64 { return s.size }
 
 // String describes the segment.
 func (s *Segment) String() string {
+	if len(s.stripe) > 0 {
+		return fmt.Sprintf("%v striped over %v (%d bytes)", s.id, s.stripe, s.size)
+	}
 	if s.disc >= 0 {
 		return fmt.Sprintf("%v on %s disc %d (%d bytes)", s.id, s.devID, s.disc, s.size)
 	}
@@ -77,9 +90,12 @@ type Store struct {
 
 	mu       sync.Mutex
 	nextID   SegID
+	nextSID  int64 // stream IDs, for the round scheduler's total order
 	segments map[SegID]*Segment
 	sink     obs.Sink
 	policy   CachePolicy
+	striping StripePolicy
+	io       *IOSched // non-nil once a Seeks/Rounds policy was installed
 }
 
 // SetCachePolicy configures chunk caching for streams opened afterwards;
@@ -104,7 +120,11 @@ func (st *Store) CachePolicy() CachePolicy {
 func (st *Store) SetSink(s obs.Sink) {
 	st.mu.Lock()
 	st.sink = s
+	io := st.io
 	st.mu.Unlock()
+	if io != nil {
+		io.setSink(s)
+	}
 }
 
 // NewStore returns a store over the given device manager.
@@ -141,24 +161,18 @@ func (st *Store) PlaceOnDisc(v media.Value, deviceID string, disc int) (*Segment
 	return st.register(v, deviceID, disc, size), nil
 }
 
-// PlaceAuto stores a value on the disk with the most free space that can
-// also sustain the given streaming rate, returning an error when no disk
-// qualifies.
+// PlaceAuto stores a value on an automatically chosen disk, load-aware:
+// among the disks with room for the value that can sustain the given
+// streaming rate, it picks the one with the most free bandwidth —
+// spreading concurrent streams over spindles instead of piling them on
+// the emptiest disk — breaking ties by free capacity and then by device
+// ID so the choice is deterministic.
 func (st *Store) PlaceAuto(v media.Value, rate media.DataRate) (*Segment, error) {
-	var best *device.Disk
-	var bestFree int64
-	for _, id := range st.devices.ListKind(device.KindDisk) {
-		d, _ := st.devices.Get(id)
-		disk := d.(*device.Disk)
-		free := disk.Capacity() - disk.Used()
-		if free >= v.Size() && disk.FreeBandwidth() >= rate && free > bestFree {
-			best, bestFree = disk, free
-		}
-	}
-	if best == nil {
+	ranked := st.rankedDisks(v.Size(), rate)
+	if len(ranked) == 0 {
 		return nil, fmt.Errorf("%w: no disk with %d bytes free and %v bandwidth", ErrNoPlacement, v.Size(), rate)
 	}
-	return st.Place(v, best.ID())
+	return st.Place(v, ranked[0].d.ID())
 }
 
 func (st *Store) register(v media.Value, devID string, disc int, size int64) *Segment {
@@ -190,26 +204,42 @@ func (st *Store) Segments() []SegID {
 	return ids
 }
 
-// Delete removes a segment and frees its space.
+// Delete removes a segment and frees its space.  The placement fields
+// are captured under the store lock so a racing Move can neither make
+// Delete free the wrong device nor free the same allocation twice.
 func (st *Store) Delete(id SegID) error {
 	st.mu.Lock()
 	s, ok := st.segments[id]
+	var devID string
+	var disc int
+	var size int64
 	if ok {
 		delete(st.segments, id)
+		devID, disc, size = s.devID, s.disc, s.size
 	}
 	st.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoSegment, id)
 	}
-	dev, found := st.devices.Get(s.devID)
+	if s.Striped() {
+		for k, sid := range s.stripe {
+			if dev, found := st.devices.Get(sid); found {
+				if d, isDisk := dev.(*device.Disk); isDisk {
+					d.Free(s.perDev[k])
+				}
+			}
+		}
+		return nil
+	}
+	dev, found := st.devices.Get(devID)
 	if !found {
-		return fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
+		return fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, devID)
 	}
 	switch d := dev.(type) {
 	case *device.Disk:
-		d.Free(s.size)
+		d.Free(size)
 	case *device.Jukebox:
-		d.Free(s.disc, s.size)
+		d.Free(disc, size)
 	}
 	return nil
 }
@@ -220,46 +250,67 @@ func (st *Store) Delete(id SegID) error {
 func (st *Store) Move(id SegID, toDevice string) (avtime.WorldTime, error) {
 	st.mu.Lock()
 	s, ok := st.segments[id]
+	var srcID string
+	var srcDisc int
+	var size int64
+	var striped bool
+	if ok {
+		srcID, srcDisc, size, striped = s.devID, s.disc, s.size, s.Striped()
+	}
 	st.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %v", ErrNoSegment, id)
+	}
+	if striped {
+		return 0, fmt.Errorf("%w: %v cannot be moved; delete and re-place it", ErrStriped, id)
 	}
 	dst, err := st.disk(toDevice)
 	if err != nil {
 		return 0, err
 	}
-	if s.devID == toDevice {
+	if srcID == toDevice {
 		return 0, nil
 	}
 	var readTime avtime.WorldTime
-	srcDev, found := st.devices.Get(s.devID)
+	srcDev, found := st.devices.Get(srcID)
 	if !found {
-		return 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
+		return 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, srcID)
 	}
 	switch d := srcDev.(type) {
 	case *device.Disk:
-		readTime = d.TransferTime(s.size, 1)
+		readTime = d.TransferTime(size, 1)
 	case *device.Jukebox:
-		t, err := d.AccessTime(s.disc, s.size)
+		t, err := d.AccessTime(srcDisc, size)
 		if err != nil {
 			return 0, err
 		}
 		readTime = t
 	}
-	if err := dst.Allocate(s.size); err != nil {
+	if err := dst.Allocate(size); err != nil {
 		return 0, err
 	}
-	writeTime := dst.TransferTime(s.size, 1)
+	writeTime := dst.TransferTime(size, 1)
+	// Commit the relocation, but only if the segment still exists with
+	// the placement we copied from: a Delete or competing Move that won
+	// the race already freed (or will free) the source, and freeing it
+	// again here would corrupt the space accounting and leak the
+	// destination allocation on a dead segment.
+	st.mu.Lock()
+	cur, live := st.segments[id]
+	if !live || cur != s || s.devID != srcID || s.disc != srcDisc {
+		st.mu.Unlock()
+		dst.Free(size)
+		return 0, fmt.Errorf("%w: %v deleted or relocated during copy", ErrNoSegment, id)
+	}
+	s.devID, s.disc = toDevice, -1
+	st.mu.Unlock()
 	// Free the old placement.
 	switch d := srcDev.(type) {
 	case *device.Disk:
-		d.Free(s.size)
+		d.Free(size)
 	case *device.Jukebox:
-		d.Free(s.disc, s.size)
+		d.Free(srcDisc, size)
 	}
-	st.mu.Lock()
-	s.devID, s.disc = toDevice, -1
-	st.mu.Unlock()
 	return readTime + writeTime, nil
 }
 
@@ -294,6 +345,15 @@ type Stream struct {
 	dev  device.Device
 	rate media.DataRate
 
+	// Striped and scheduled streams only.
+	sid    int64            // total order for the round scheduler
+	disks  []*device.Disk   // stripe home disks, nil when unstriped
+	shares []media.DataRate // per-disk reservation, sums to rate
+	io     *IOSched         // non-nil under a Seeks or Rounds policy
+	rounds bool             // submit/consume through service rounds
+	seeks  bool             // contended pricing: every demand read seeks
+	unit   avtime.WorldTime // playback interval between chunk deadlines
+
 	mu      sync.Mutex
 	open    bool
 	startup avtime.WorldTime // positioning cost charged on the first read
@@ -306,7 +366,17 @@ type Stream struct {
 // It fails when the device cannot sustain the rate alongside existing
 // reservations — the storage half of admission control.  For jukebox
 // segments the returned startup time includes a disc swap if needed.
+// For striped segments a 1/width share of the rate is reserved on every
+// stripe disk, so the stream's effective bandwidth spans all of them.
+// The store's stripe policy applies; OpenStreamWith overrides it.
 func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.WorldTime, error) {
+	return st.OpenStreamWith(id, rate, st.Striping())
+}
+
+// OpenStreamWith opens a stream under an explicit stripe policy instead
+// of the store-wide one (the policy's Width is placement-time and
+// ignored here).
+func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePolicy) (*Stream, avtime.WorldTime, error) {
 	st.mu.Lock()
 	s, ok := st.segments[id]
 	st.mu.Unlock()
@@ -316,42 +386,95 @@ func (st *Store) OpenStream(id SegID, rate media.DataRate) (*Stream, avtime.Worl
 	if rate <= 0 {
 		return nil, 0, fmt.Errorf("storage: stream rate must be positive, got %v", rate)
 	}
-	dev, found := st.devices.Get(s.devID)
-	if !found {
-		return nil, 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
-	}
-	var startup avtime.WorldTime
-	switch d := dev.(type) {
-	case *device.Disk:
-		if err := d.Reserve(rate); err != nil {
-			return nil, 0, err
+	stream := &Stream{st: st, seg: s, rate: rate, open: true}
+	if s.Striped() {
+		disks := make([]*device.Disk, len(s.stripe))
+		for k, devID := range s.stripe {
+			d, err := st.disk(devID)
+			if err != nil {
+				return nil, 0, err
+			}
+			disks[k] = d
 		}
-		startup = d.SeekTime()
-	case *device.Jukebox:
-		if err := d.Reserve(rate); err != nil {
-			return nil, 0, err
+		shares := shareRate(rate, len(disks))
+		var startup avtime.WorldTime
+		for k, d := range disks {
+			if err := d.Reserve(shares[k]); err != nil {
+				for u := 0; u < k; u++ {
+					disks[u].Release(shares[u])
+				}
+				return nil, 0, fmt.Errorf("storage: stripe disk %q: %w", d.ID(), err)
+			}
+			if t := d.SeekTime(); t > startup {
+				startup = t
+			}
 		}
-		t, err := d.AccessTime(s.disc, 0)
-		if err != nil {
-			d.Release(rate)
-			return nil, 0, err
+		stream.dev, stream.disks, stream.shares, stream.startup = disks[0], disks, shares, startup
+	} else {
+		dev, found := st.devices.Get(s.devID)
+		if !found {
+			return nil, 0, fmt.Errorf("storage: segment %v references missing device: %w: %q", id, device.ErrNoDevice, s.devID)
 		}
-		startup = t
-	default:
-		return nil, 0, fmt.Errorf("storage: device %q cannot stream", s.devID)
+		var startup avtime.WorldTime
+		switch d := dev.(type) {
+		case *device.Disk:
+			if err := d.Reserve(rate); err != nil {
+				return nil, 0, err
+			}
+			startup = d.SeekTime()
+		case *device.Jukebox:
+			if err := d.Reserve(rate); err != nil {
+				return nil, 0, err
+			}
+			t, err := d.AccessTime(s.disc, 0)
+			if err != nil {
+				d.Release(rate)
+				return nil, 0, err
+			}
+			startup = t
+		default:
+			return nil, 0, fmt.Errorf("storage: device %q cannot stream", s.devID)
+		}
+		stream.dev, stream.startup = dev, startup
 	}
 	st.mu.Lock()
-	sink := st.sink
-	policy := st.policy
+	stream.sink = st.sink
+	cachePolicy := st.policy
+	stream.seeks = policy.Seeks
+	if policy.Seeks || policy.Rounds {
+		if st.io == nil {
+			st.io = newIOSched(st.sink)
+		}
+		stream.io = st.io
+		stream.sid = st.nextSID
+		st.nextSID++
+	}
+	if policy.Rounds {
+		// Rounds route chunks to tracks, which needs the chunk layout;
+		// striped segments built theirs at placement, unstriped disk
+		// segments get a single-device map here.  Jukebox segments stay
+		// on the demand path: one read head has nothing to batch.
+		_, onDisk := stream.dev.(*device.Disk)
+		if s.Striped() || onDisk {
+			if s.chunkDev == nil {
+				if err := s.buildChunkMap(1); err != nil {
+					st.mu.Unlock()
+					stream.releaseReservations()
+					return nil, 0, err
+				}
+			}
+			stream.rounds = true
+			stream.unit = s.value.Type().Rate.UnitDuration()
+		}
+	}
 	st.mu.Unlock()
-	if sink != nil {
-		sink.Count("storage.streams_opened", 1)
+	if stream.sink != nil {
+		stream.sink.Count("storage.streams_opened", 1)
 	}
-	stream := &Stream{st: st, seg: s, dev: dev, rate: rate, open: true, startup: startup, sink: sink}
-	if policy.Enabled() {
-		stream.cache = newChunkCache(policy)
+	if cachePolicy.Enabled() {
+		stream.cache = newChunkCache(cachePolicy)
 	}
-	return stream, startup, nil
+	return stream, stream.startup, nil
 }
 
 // Segment returns the streamed segment.
@@ -414,7 +537,23 @@ func (s *Stream) readLocked(bytes int64) (avtime.WorldTime, error) {
 // consulted because no device access happens.  A demand miss pays the
 // full device read (including any startup cost and injected faults),
 // then stages the next Lookahead chunks.
+//
+// ReadChunkTime bypasses the round scheduler (round -1): callers that
+// cannot tag a playback deadline read on demand.
 func (s *Stream) ReadChunkTime(idx int, bytes int64) (avtime.WorldTime, error) {
+	return s.ReadChunkTimeAt(idx, bytes, -1, 0, 0)
+}
+
+// ReadChunkTimeAt is the deadline-tagged chunk read: round is the
+// caller's tick number, now the tick's world time, and deadline the
+// moment the chunk must be presentable.  Under a Rounds policy the call
+// first services every complete earlier round, consumes the scheduled
+// result for this chunk if one was prefetched (paying its SCAN-EDF
+// amortized cost instead of a full seek), and submits the following
+// chunk into the current round tagged deadline+unit.  A chunk nothing
+// prefetched — the first read, a jump — is a demand read.  round < 0
+// disables scheduling for this call.
+func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadline avtime.WorldTime) (avtime.WorldTime, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("storage: negative read %d", bytes)
 	}
@@ -426,19 +565,66 @@ func (s *Stream) ReadChunkTime(idx int, bytes int64) (avtime.WorldTime, error) {
 	if !s.open {
 		return 0, fmt.Errorf("%w: read on closed stream", ErrStreamClosed)
 	}
-	if s.cache == nil {
-		return s.readLocked(bytes)
+	scheduled := s.rounds && round >= 0
+	if scheduled {
+		// The tick barrier guarantees every round before this one is
+		// fully submitted, so servicing them now is deterministic
+		// regardless of which stream flushes first.
+		s.io.flushBefore(round)
 	}
-	if s.cache.contains(idx) {
+	if s.cache != nil && s.cache.contains(idx) {
 		s.cache.touch(idx)
 		s.bytes += bytes
 		s.cache.stats.Hits++
 		if s.sink != nil {
 			s.sink.Count("storage.cache.hits", 1)
 		}
+		if s.io != nil {
+			// A hit makes any scheduled result for this stream moot.
+			s.io.drop(s.sid)
+		}
 		return 0, nil
 	}
-	t, err := s.readLocked(bytes)
+	var t avtime.WorldTime
+	var err error
+	if scheduled {
+		if res, ok := s.io.peek(s.sid, idx); ok {
+			// Consume the round-serviced prefetch.  The home disk's
+			// fault hook still gets a say: the transfer happened on
+			// simulated hardware.  On a fault the result stays pending
+			// so a retry re-consumes it.
+			var extra avtime.WorldTime
+			if f, isF := s.chunkDevice(idx).(device.Faultable); isF {
+				extra, err = f.CheckRead(bytes)
+			}
+			if err != nil {
+				t = extra
+				err = fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.chunkDevice(idx).ID(), err)
+				if s.sink != nil {
+					s.sink.Count("storage.read_faults", 1)
+				}
+			} else {
+				s.io.take(s.sid, idx)
+				s.bytes += bytes
+				t = extra + res.cost
+				if s.sink != nil {
+					s.sink.Count("storage.reads", 1)
+					s.sink.Count("storage.read_bytes", bytes)
+					s.sink.Observe("storage.read_time_us", int64(t))
+				}
+			}
+		} else {
+			t, err = s.readChunkLocked(idx, bytes)
+		}
+		if err == nil {
+			s.submitNextLocked(idx, round, now, deadline)
+		}
+	} else {
+		t, err = s.readChunkLocked(idx, bytes)
+	}
+	if s.cache == nil {
+		return t, err
+	}
 	s.cache.stats.Misses++
 	if s.sink != nil {
 		s.sink.Count("storage.cache.misses", 1)
@@ -469,6 +655,102 @@ func (s *Stream) ReadChunkTime(idx int, bytes int64) (avtime.WorldTime, error) {
 	return t, nil
 }
 
+// chunkDevice returns the device holding the given chunk: the stripe
+// home disk for striped segments, the segment's device otherwise.
+func (s *Stream) chunkDevice(idx int) device.Device {
+	if s.disks != nil && s.seg.chunkDev != nil && idx < len(s.seg.chunkDev) {
+		return s.disks[s.seg.chunkDev[idx]]
+	}
+	return s.dev
+}
+
+// chunkHome resolves the disk and track holding a chunk; ok is false for
+// chunks outside the map or segments without one (jukebox).
+func (s *Stream) chunkHome(idx int) (*device.Disk, int, bool) {
+	if s.seg.chunkDev == nil || idx >= len(s.seg.chunkDev) {
+		return nil, 0, false
+	}
+	k := s.seg.chunkDev[idx]
+	var d *device.Disk
+	if s.disks != nil {
+		d = s.disks[k]
+	} else if dd, isDisk := s.dev.(*device.Disk); isDisk {
+		d = dd
+	} else {
+		return nil, 0, false
+	}
+	var base int64
+	if s.seg.base != nil {
+		base = s.seg.base[k]
+	}
+	return d, d.TrackOf(base + s.seg.chunkOff[idx]), true
+}
+
+// readChunkLocked prices one demand chunk read on the chunk's home
+// device; the caller holds s.mu.  Under contended pricing (Seeks) every
+// demand read pays the home disk's positioning cost, not just the
+// first; the startup charge doubles as the first read's seek.
+func (s *Stream) readChunkLocked(idx int, bytes int64) (avtime.WorldTime, error) {
+	dev := s.chunkDevice(idx)
+	var extra avtime.WorldTime
+	if f, ok := dev.(device.Faultable); ok {
+		dt, err := f.CheckRead(bytes)
+		if err != nil {
+			if s.sink != nil {
+				s.sink.Count("storage.read_faults", 1)
+			}
+			return dt, fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, dev.ID(), err)
+		}
+		extra = dt
+	}
+	s.bytes += bytes
+	t := extra + avtime.WorldTime(bytes*int64(avtime.Second)/int64(s.rate))
+	seeked := false
+	if s.startup > 0 {
+		t += s.startup
+		s.startup = 0
+		seeked = true
+	} else if s.seeks {
+		if d, isDisk := dev.(*device.Disk); isDisk {
+			t += d.SeekTime()
+			seeked = true
+		}
+	}
+	if s.io != nil {
+		s.io.noteDemand(seeked)
+	}
+	if s.sink != nil {
+		s.sink.Count("storage.reads", 1)
+		s.sink.Count("storage.read_bytes", bytes)
+		s.sink.Observe("storage.read_time_us", int64(t))
+	}
+	return t, nil
+}
+
+// submitNextLocked queues the chunk after idx into the current round,
+// due one playback unit past the consumed chunk's deadline; the caller
+// holds s.mu.
+func (s *Stream) submitNextLocked(idx int, round int64, now, deadline avtime.WorldTime) {
+	next := idx + 1
+	if next >= s.seg.frames {
+		return
+	}
+	d, track, ok := s.chunkHome(next)
+	if !ok {
+		return
+	}
+	s.io.submit(round, ioReq{
+		sid:      s.sid,
+		chunk:    next,
+		bytes:    s.seg.chunkSize[next],
+		disk:     d,
+		track:    track,
+		rate:     s.rate,
+		now:      now,
+		deadline: deadline + s.unit,
+	})
+}
+
 // CacheStats reports the stream's cache behavior; the zero value when
 // caching is disabled.
 func (s *Stream) CacheStats() CacheStats {
@@ -488,6 +770,10 @@ func (s *Stream) BytesRead() int64 {
 }
 
 // Close releases the reserved bandwidth.  Closing twice is a no-op.
+// The release goes to the device(s) the reservation was made on at open
+// time — not a fresh lookup of the segment's placement, which a
+// concurrent Move may have redirected (releasing on the new device would
+// leak the old reservation and corrupt the new device's accounting).
 func (s *Stream) Close() {
 	s.mu.Lock()
 	if !s.open {
@@ -495,12 +781,23 @@ func (s *Stream) Close() {
 		return
 	}
 	s.open = false
+	io, sid := s.io, s.sid
 	s.mu.Unlock()
-	dev, ok := s.st.devices.Get(s.seg.devID)
-	if !ok {
+	if io != nil {
+		io.drop(sid)
+	}
+	s.releaseReservations()
+}
+
+// releaseReservations returns the bandwidth reserved at open time.
+func (s *Stream) releaseReservations() {
+	if s.disks != nil {
+		for k, d := range s.disks {
+			d.Release(s.shares[k])
+		}
 		return
 	}
-	switch d := dev.(type) {
+	switch d := s.dev.(type) {
 	case *device.Disk:
 		d.Release(s.rate)
 	case *device.Jukebox:

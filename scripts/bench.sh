@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite for one PR tag and writes a machine-readable
+# BENCH_<tag>.json.
+#
+# Usage: scripts/bench.sh <tag> [output.json]
+#
+#   pr3   wavefront executor: serial vs parallel BenchmarkGraphRun on the
+#         8-wide burn graph; reports ns/op per arm and the host speedup.
+#   pr4   striped storage: BenchmarkStripedRead (demand vs SCAN-EDF read
+#         path host cost) plus the deterministic virtual-time stripe
+#         experiment (aggregate MB/s and speedup per arm).
+#
+# Host speedups are hardware-dependent; the stripe experiment's virtual
+# numbers are deterministic and reproduce the committed golden file.
+set -euo pipefail
+
+tag="${1:-}"
+if [ -z "$tag" ]; then
+  echo "usage: scripts/bench.sh <tag> [output.json]" >&2
+  exit 2
+fi
+out="${2:-BENCH_${tag}.json}"
+cd "$(dirname "$0")/.."
+
+cpus=$(go env GOMAXPROCS 2>/dev/null || echo "")
+[ -n "$cpus" ] || cpus=$(getconf _NPROCESSORS_ONLN)
+goversion=$(go env GOVERSION)
+
+case "$tag" in
+pr3)
+  bench_out=$(go test -run '^$' -bench 'BenchmarkGraphRun$' -benchtime "${BENCHTIME:-10x}" -count "${BENCHCOUNT:-1}" ./internal/activity/)
+  echo "$bench_out"
+  # Benchmark lines look like:
+  #   BenchmarkGraphRun/wide-serial-8   10   27469964 ns/op   ...
+  # With -count > 1 each arm repeats; take the minimum ns/op per arm.
+  serial=$(echo "$bench_out" | awk '/BenchmarkGraphRun\/wide-serial/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  parallel=$(echo "$bench_out" | awk '/BenchmarkGraphRun\/wide-parallel/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  if [ -z "$serial" ] || [ -z "$parallel" ]; then
+    echo "bench: could not parse BenchmarkGraphRun output" >&2
+    exit 1
+  fi
+  awk -v serial="$serial" -v parallel="$parallel" -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    speedup = (parallel > 0) ? serial / parallel : 0
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkGraphRun\",\n"
+    printf "  \"graph\": {\"width\": 8, \"frames\": 30, \"shape\": \"fan-in/fan-out\"},\n"
+    printf "  \"serial_ns_per_op\": %d,\n", serial
+    printf "  \"parallel_ns_per_op\": %d,\n", parallel
+    printf "  \"speedup\": %.3f,\n", speedup
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
+pr4)
+  graph_out=$(go test -run '^$' -bench 'BenchmarkGraphRun$' -benchtime "${BENCHTIME:-20x}" -count "${BENCHCOUNT:-1}" ./internal/activity/)
+  echo "$graph_out"
+  gserial=$(echo "$graph_out" | awk '/BenchmarkGraphRun\/wide-serial/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  gparallel=$(echo "$graph_out" | awk '/BenchmarkGraphRun\/wide-parallel/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  if [ -z "$gserial" ] || [ -z "$gparallel" ]; then
+    echo "bench: could not parse BenchmarkGraphRun output" >&2
+    exit 1
+  fi
+  bench_out=$(go test -run '^$' -bench 'BenchmarkStripedRead' -benchtime "${BENCHTIME:-20x}" -count "${BENCHCOUNT:-1}" ./internal/storage/)
+  echo "$bench_out"
+  single=$(echo "$bench_out" | awk '/BenchmarkStripedRead\/single-demand/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  demand=$(echo "$bench_out" | awk '/BenchmarkStripedRead\/striped-demand/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  scanedf=$(echo "$bench_out" | awk '/BenchmarkStripedRead\/striped-scan-edf/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  if [ -z "$single" ] || [ -z "$demand" ] || [ -z "$scanedf" ]; then
+    echo "bench: could not parse BenchmarkStripedRead output" >&2
+    exit 1
+  fi
+  # The virtual-time comparison: deterministic, matches the stripe golden.
+  exp_out=$(go run ./cmd/avbench -exp stripe -frames 90 -width 4)
+  echo "$exp_out"
+  # Table rows: arm name (may contain spaces), then columns ending in
+  #   ... agg MB/s  speedup  seeks  saved  misses  max batch
+  read -r single_mbs single_seeks <<<"$(echo "$exp_out" | awk '/^single disk /{print $(NF-5), $(NF-3)}')"
+  read -r edf_mbs edf_speedup edf_seeks edf_saved <<<"$(echo "$exp_out" | awk '/^striped scan-edf /{print $(NF-5), $(NF-4), $(NF-3), $(NF-2)}')"
+  if [ -z "$single_mbs" ] || [ -z "$edf_mbs" ]; then
+    echo "bench: could not parse stripe experiment output" >&2
+    exit 1
+  fi
+  awk -v single="$single" -v demand="$demand" -v scanedf="$scanedf" \
+      -v gserial="$gserial" -v gparallel="$gparallel" \
+      -v smbs="$single_mbs" -v sseeks="$single_seeks" \
+      -v embs="$edf_mbs" -v espeed="$edf_speedup" -v eseeks="$edf_seeks" -v esaved="$edf_saved" \
+      -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    gspeed = (gparallel > 0) ? gserial / gparallel : 0
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkStripedRead\",\n"
+    printf "  \"workload\": {\"streams\": 8, \"frames\": 30, \"stripe_width\": 4},\n"
+    printf "  \"graph_run\": {\"serial_ns_per_op\": %d, \"parallel_ns_per_op\": %d, \"speedup\": %.3f},\n", gserial, gparallel, gspeed
+    printf "  \"host_ns_per_op\": {\"single_demand\": %d, \"striped_demand\": %d, \"striped_scan_edf\": %d},\n", single, demand, scanedf
+    printf "  \"virtual\": {\n"
+    printf "    \"experiment\": \"avbench -exp stripe -frames 90 -width 4\",\n"
+    printf "    \"single_disk_mb_per_s\": %s,\n", smbs
+    printf "    \"scan_edf_mb_per_s\": %s,\n", embs
+    printf "    \"scan_edf_speedup\": \"%s\",\n", espeed
+    printf "    \"seeks_charged\": {\"single_disk\": %s, \"scan_edf\": %s},\n", sseeks, eseeks
+    printf "    \"seeks_saved\": {\"scan_edf\": %s}\n", esaved
+    printf "  },\n"
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
+*)
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4)" >&2
+  exit 2
+  ;;
+esac
+
+echo "wrote $out:"
+cat "$out"

@@ -1,47 +1,5 @@
 #!/usr/bin/env bash
-# Runs the wavefront-executor benchmarks (serial vs parallel on the
-# 8-wide burn graph) and writes a machine-readable BENCH_pr3.json with
-# ns/op for both arms and the resulting speedup.
+# Back-compat wrapper: the benchmark suites live in scripts/bench.sh now.
 #
 # Usage: scripts/bench_pr3.sh [output.json]
-#
-# The speedup is hardware-dependent: on a single-core host both arms
-# collapse to the same inline path and the ratio is ~1.0 by design.
-set -euo pipefail
-
-out="${1:-BENCH_pr3.json}"
-cd "$(dirname "$0")/.."
-
-bench_out=$(go test -run '^$' -bench 'BenchmarkGraphRun$' -benchtime "${BENCHTIME:-10x}" -count "${BENCHCOUNT:-1}" ./internal/activity/)
-echo "$bench_out"
-
-# Benchmark lines look like:
-#   BenchmarkGraphRun/wide-serial-8     10   27469964 ns/op   1108048 B/op   3917 allocs/op
-# With -count > 1 each arm repeats; take the minimum ns/op per arm.
-serial=$(echo "$bench_out" | awk '/BenchmarkGraphRun\/wide-serial/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
-parallel=$(echo "$bench_out" | awk '/BenchmarkGraphRun\/wide-parallel/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
-
-if [ -z "$serial" ] || [ -z "$parallel" ]; then
-  echo "bench_pr3: could not parse benchmark output" >&2
-  exit 1
-fi
-
-cpus=$(go env GOMAXPROCS 2>/dev/null || echo "")
-[ -n "$cpus" ] || cpus=$(getconf _NPROCESSORS_ONLN)
-goversion=$(go env GOVERSION)
-
-awk -v serial="$serial" -v parallel="$parallel" -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
-  speedup = (parallel > 0) ? serial / parallel : 0
-  printf "{\n"
-  printf "  \"benchmark\": \"BenchmarkGraphRun\",\n"
-  printf "  \"graph\": {\"width\": 8, \"frames\": 30, \"shape\": \"fan-in/fan-out\"},\n"
-  printf "  \"serial_ns_per_op\": %d,\n", serial
-  printf "  \"parallel_ns_per_op\": %d,\n", parallel
-  printf "  \"speedup\": %.3f,\n", speedup
-  printf "  \"cpus\": %d,\n", cpus
-  printf "  \"go\": \"%s\"\n", gov
-  printf "}\n"
-}' > "$out"
-
-echo "wrote $out:"
-cat "$out"
+exec "$(dirname "$0")/bench.sh" pr3 "$@"
