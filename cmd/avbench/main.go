@@ -17,6 +17,9 @@
 //	avbench -exp stripe -width 4
 //	                         # striped placement + SCAN-EDF rounds vs
 //	                         # single-disk multi-stream reads
+//	avbench -exp tenancy -sessions 4
+//	                         # multi-session engine: N sessions sharing
+//	                         # one clip and one clock vs back-to-back
 package main
 
 import (
@@ -90,7 +93,7 @@ func scaleSweep(workers int) []int {
 	return sweep
 }
 
-func runners(metrics, trace bool, workers, width int) []runner {
+func runners(metrics, trace bool, workers, width, sessions int) []runner {
 	return []runner{
 		{"rates", "media data rates and measured compression", func(int) (fmt.Stringer, error) {
 			return experiment.Rates()
@@ -152,6 +155,9 @@ func runners(metrics, trace bool, workers, width int) []runner {
 		{"stripe", "striped placement + SCAN-EDF rounds vs single-disk reads", func(frames int) (fmt.Stringer, error) {
 			return experiment.Stripe(frames, width)
 		}},
+		{"tenancy", "multi-session engine: shared clock + merged rounds vs back-to-back", func(frames int) (fmt.Stringer, error) {
+			return experiment.Tenancy(frames, sessions)
+		}},
 	}
 }
 
@@ -163,9 +169,10 @@ func main() {
 	trace := flag.Bool("trace", false, "print the span tree after the obs experiment")
 	workers := flag.Int("workers", 0, "top worker count for the scale experiment (0 = GOMAXPROCS)")
 	width := flag.Int("width", 4, "stripe width for the stripe experiment")
+	sessions := flag.Int("sessions", 4, "top session count for the tenancy experiment")
 	flag.Parse()
 
-	rs := runners(*metrics, *trace, *workers, *width)
+	rs := runners(*metrics, *trace, *workers, *width, *sessions)
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-8s %s\n", r.name, r.desc)

@@ -81,9 +81,28 @@ func execute(db *core.Database, line string) error {
   devices                         list platform devices
   similar <oid>                   rank newscasts by video similarity (QBPE)
   trace <oid>                     play an object's videoTrack, print the span tree
+  sessions                        list playbacks active on the stream engine
   stats                           print the database's metric registry
   help | quit
 `)
+	case line == "sessions":
+		eng := db.Engine()
+		list := eng.Sessions()
+		if len(list) == 0 {
+			fmt.Println("  no active playbacks")
+		} else {
+			fmt.Printf("  %-16s %-12s %-8s %6s  %-12s %s\n", "session", "graph", "rate", "ticks", "next due", "state")
+			for _, es := range list {
+				fmt.Printf("  %-16s %-12s %-8v %6d  %-12v %s\n",
+					es.Session, es.Graph, es.Rate, es.Ticks, es.Due, es.State)
+			}
+		}
+		st := eng.Stats()
+		paused := ""
+		if st.Paused {
+			paused = ", paused"
+		}
+		fmt.Printf("engine: %d active, %d steps, %d finished%s\n", st.Active, st.Steps, st.Finished, paused)
 	case line == "classes":
 		for _, n := range db.Schema().Classes() {
 			fmt.Println(" ", n)

@@ -115,12 +115,14 @@ func (r *VideoReader) Degrade(v media.Value, port string) error {
 // transient faults under the configured policy.  Reads go through the
 // chunk-indexed path so a store cache policy can serve prefetched frames
 // without device time; with no policy it costs exactly a plain read.
-// The read is tagged with the tick number and the frame's playback
-// deadline (its presentation tick), so a round-scheduling store can
-// batch it SCAN-EDF with the other streams of the same wavefront tick.
+// The read is tagged with the tick's service round and the frame's
+// playback deadline (its presentation tick), so a round-scheduling store
+// can batch it SCAN-EDF with the other streams of the same round — under
+// the multi-session engine, that round spans every session ticked in the
+// same engine step.
 func (r *VideoReader) readTime(tc *activity.TickContext, idx int, bytes int64) (avtime.WorldTime, error) {
 	read := func() (avtime.WorldTime, error) {
-		return r.stream.ReadChunkTimeAt(idx, bytes, int64(tc.Seq), tc.Now, tc.Now)
+		return r.stream.ReadChunkTimeAt(idx, bytes, tc.Round, tc.Now, tc.Now)
 	}
 	if !r.haveRetry {
 		return read()

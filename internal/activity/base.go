@@ -288,6 +288,12 @@ type TickContext struct {
 	Seq      int              // tick number since graph start
 	Interval avtime.Interval  // world-time span the tick covers
 
+	// Round is the storage service round this tick's chunk requests
+	// belong to.  A standalone Graph.Run numbers rounds by Seq; under the
+	// multi-session engine every graph ticked in the same engine step
+	// shares one round, so the per-disk SCAN-EDF batches span sessions.
+	Round int64
+
 	in  map[string]*Chunk
 	out map[string]*Chunk
 }
@@ -295,7 +301,7 @@ type TickContext struct {
 // NewTickContext returns a context for one tick; the graph runner is the
 // usual constructor.
 func NewTickContext(now avtime.WorldTime, seq int, iv avtime.Interval) *TickContext {
-	return &TickContext{Now: now, Seq: seq, Interval: iv, in: make(map[string]*Chunk), out: make(map[string]*Chunk)}
+	return &TickContext{Now: now, Seq: seq, Interval: iv, Round: int64(seq), in: make(map[string]*Chunk), out: make(map[string]*Chunk)}
 }
 
 // In returns the chunk delivered to the named In port this tick, or nil.

@@ -350,215 +350,27 @@ type RunStats struct {
 // Run executes the graph until every source has exhausted its stream (or
 // every node has stopped), advancing the clock one tick at a time.  Nodes
 // must have been started; Run returns immediately if nothing is running.
+//
+// Run is the single-graph driver over the resumable state machine in
+// run.go: Begin, then Tick/Commit until done, then Finish.  The
+// multi-session engine (internal/core) drives the same machine but
+// interleaves ticks from several graphs before each clock commit.
 func (g *Graph) Run(cfg RunConfig) (*RunStats, error) {
-	if cfg.Clock == nil {
-		return nil, fmt.Errorf("activity: RunConfig needs a clock")
-	}
-	rate := cfg.Rate
-	if rate.IsZero() {
-		rate = avtime.RateVideo30
-	}
-	maxTicks := cfg.MaxTicks
-	if maxTicks <= 0 {
-		maxTicks = 10_000_000
-	}
-	order, err := g.topo()
+	r, err := g.Begin(cfg)
 	if err != nil {
 		return nil, err
 	}
-	conns := g.Connections()
-	stats := &RunStats{}
-	// A finished run leaves every activity quiescent so the graph can be
-	// cued and started again; teardown failures surface through stats.
-	defer func() {
-		if err := g.Stop(); err != nil {
-			stats.StopErr = err
-		}
-	}()
-	incoming := make(map[string][]*Connection)
-	for _, c := range conns {
-		incoming[c.to.Name()] = append(incoming[c.to.Name()], c)
-	}
-	levels := levelize(order, conns)
-	workers := resolveWorkers(cfg.Workers, maxWidth(levels))
-	var pool *tickPool
-	if workers > 1 {
-		pool = newTickPool(workers)
-		defer pool.close()
-	}
-	gate := sched.NewAdvanceGate(cfg.Clock)
-	entries := make([]tickEntry, 0, len(order))
-
-	startAt := cfg.Clock.Now()
-
-	// Observability: one playback span for the run, one activity span per
-	// node and one connection span per edge, all closed when Run returns
-	// on any path.  Every chunk delivery nests a chunk span under its
-	// connection.  All guards are nil checks so an uninstrumented run
-	// never touches the sink.
-	sink := cfg.Obs
-	var pbSpan obs.SpanID
-	var actSpans map[string]obs.SpanID
-	connSpans := map[*Connection]obs.SpanID{}
-	if sink != nil {
-		pbSpan = sink.BeginSpan(cfg.ObsParent, obs.KindPlayback, g.name, startAt)
-		actSpans = make(map[string]obs.SpanID, len(order))
-		for _, node := range order {
-			actSpans[node.Name()] = sink.BeginSpan(pbSpan, obs.KindActivity, node.Name(), startAt)
-		}
-		for _, c := range conns {
-			connSpans[c] = sink.BeginSpan(pbSpan, obs.KindConnection, c.label, startAt)
-		}
-		// Executor shape, not executor configuration: both gauges depend
-		// only on the graph, so serial and parallel snapshots stay
-		// byte-identical.
-		sink.SetGauge("exec.levels", int64(len(levels)))
-		sink.SetGauge("exec.width", int64(maxWidth(levels)))
-		defer func() {
-			now := cfg.Clock.Now()
-			for _, c := range conns {
-				id := connSpans[c]
-				c.mu.Lock()
-				chunks, bytes := c.chunks, c.bytes
-				c.mu.Unlock()
-				sink.SpanAttr(id, "chunks", chunks)
-				sink.SpanAttr(id, "bytes", bytes)
-				sink.EndSpan(id, now)
-			}
-			for _, node := range order {
-				sink.EndSpan(actSpans[node.Name()], now)
-			}
-			sink.SpanAttr(pbSpan, "ticks", int64(stats.Ticks))
-			sink.EndSpan(pbSpan, now)
-			sink.Count("sched.ticks", int64(stats.Ticks))
-			sink.Count("stream.chunks", stats.Chunks)
-			sink.Count("stream.bytes", stats.BytesMoved)
-			sink.Count("stream.dropped", stats.ChunksDropped)
-			sink.Count("stream.corrupted", stats.ChunksCorrupted)
-			sink.Count("stream.transfer_failures", stats.TransferFailures)
-		}()
-	}
-	for tick := 0; tick < maxTicks; tick++ {
-		now := startAt + rate.DurationOf(avtime.ObjectTime(tick))
-		iv := avtime.Interval{Start: now, Dur: rate.UnitDuration()}
-
-		anyRunning := false
-		var last avtime.WorldTime
-		produced := make(map[*Port]*Chunk)
-		for _, level := range levels {
-			entries = entries[:0]
-
-			// Phase A — serial, in topological order: move chunks across
-			// connections, account faults, emit chunk spans, stage every
-			// running node's tick inputs.  Producers sit in strictly
-			// earlier levels, so `produced` is complete for this level.
-			for _, node := range level {
-				if node.State() != StateStarted {
-					continue
-				}
-				anyRunning = true
-				tc := NewTickContext(now, tick, iv)
-				for _, conn := range incoming[node.Name()] {
-					src := produced[conn.fromPort]
-					if src == nil {
-						continue
-					}
-					oc := conn.deliver(src)
-					if oc.err != nil {
-						return stats, oc.err
-					}
-					if oc.chunk == nil {
-						// Lost in flight or absorbed by a fail-soft connection:
-						// nothing arrives this tick; the receiver sees the gap and
-						// the client hears about it.
-						if oc.dropped {
-							stats.ChunksDropped++
-						}
-						if oc.failed {
-							stats.TransferFailures++
-						}
-						emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: now, Seq: src.Seq})
-						continue
-					}
-					if oc.corrupted {
-						stats.ChunksCorrupted++
-					}
-					if sink != nil {
-						cs := sink.BeginSpan(connSpans[conn], obs.KindChunk, conn.label, src.At)
-						sink.SpanAttr(cs, "seq", int64(src.Seq))
-						sink.EndSpan(cs, oc.chunk.Arrived)
-						sink.Observe("stream.chunk_latency_us", int64(oc.chunk.Arrived-oc.chunk.At))
-					}
-					tc.SetIn(conn.toPort.Name(), oc.chunk)
-					stats.Chunks++
-					stats.BytesMoved += oc.chunk.Size()
-					if oc.chunk.Arrived > last {
-						last = oc.chunk.Arrived
-					}
-				}
-				entries = append(entries, tickEntry{node: node, tc: tc})
-			}
-
-			// Phase B — tick the level: on the pool when more than one
-			// node is staged, inline otherwise.  A single lane executes
-			// in entry order, which is exactly the serial order.
-			if pool != nil && len(entries) > 1 {
-				pool.run(entries)
-			} else {
-				for i := range entries {
-					entries[i].exec()
-				}
-			}
-
-			// Phase C — serial, in topological order: surface the first
-			// error, stamp activity latency onto outputs, publish chunks
-			// for the next level.
-			for i := range entries {
-				e := &entries[i]
-				if e.err != nil {
-					return stats, fmt.Errorf("activity: %s at tick %d: %w", e.node.Name(), tick, e.err)
-				}
-				for port, c := range e.tc.Outputs() {
-					if c == nil {
-						continue
-					}
-					if c.Arrived < now {
-						c.Arrived = now
-					}
-					c.Arrived += e.lat
-					propagateExtra(c, e.lat)
-					p, ok := e.node.Port(port)
-					if !ok {
-						return stats, fmt.Errorf("activity: %s emitted on unknown port %q", e.node.Name(), port)
-					}
-					if c.Arrived > last {
-						last = c.Arrived
-					}
-					produced[p] = c
-				}
-			}
-		}
-
-		stats.Ticks++
-		if last > 0 {
-			gate.Propose(last)
-		}
-		gate.CommitTick(now + rate.UnitDuration())
-		stats.Elapsed = cfg.Clock.Now() - startAt
-		if !anyRunning {
+	for {
+		done, err := r.Tick()
+		if err != nil {
 			break
 		}
-		if g.sourcesFinished() {
+		r.Commit()
+		if done {
 			break
 		}
 	}
-	// Drain: chunks still in flight when the sources finish belong to
-	// this run.  The final clock reading must cover the latest arrival,
-	// so tail latency shows up in Elapsed instead of being cut off.
-	stats.LastArrival = gate.Latest()
-	gate.Drain()
-	stats.Elapsed = cfg.Clock.Now() - startAt
-	return stats, nil
+	return r.Finish()
 }
 
 // sourcesFinished reports whether no source activity remains started.

@@ -161,10 +161,52 @@ func runWide(t *testing.T, workers int) (*RunStats, []byte, []avtime.WorldTime) 
 	return stats, []byte(js), sink.arrived
 }
 
+// runWideStepped executes the same wide graph but drives the GraphRun
+// state machine externally, exactly the way the multi-session engine
+// does for a lone session: explicit round tags per step and one clock
+// commit (to the minimum — here only — commit horizon) after each tick.
+func runWideStepped(t *testing.T, workers int) (*RunStats, []byte, []avtime.WorldTime) {
+	t.Helper()
+	g, sink := buildWideGraph(t, 4, 40)
+	col := obs.NewCollector()
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock := sched.NewVirtualClock(0)
+	run, err := g.Begin(RunConfig{Clock: clock, Workers: workers, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := int64(0); ; step++ {
+		run.SetRound(step)
+		done, err := run.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.AdvanceTo(run.CommitHorizon())
+		if done {
+			break
+		}
+	}
+	stats, err := run.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := col.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, []byte(js), sink.arrived
+}
+
 func TestSerialParallelEquivalence(t *testing.T) {
-	// Same seeds, different lane counts: the runs must be byte-identical
-	// in stats, arrivals, and the full observability snapshot (span IDs,
-	// metric values, histogram buckets).
+	// Same seeds, different lane counts and drivers: the runs must be
+	// byte-identical in stats, arrivals, and the full observability
+	// snapshot (span IDs, metric values, histogram buckets).  The
+	// "stepped" arms drive Begin/Tick/Commit/Finish externally — the
+	// multi-session engine's protocol — and must reproduce the classic
+	// Run loop exactly, pinning one-session-under-the-engine to today's
+	// behavior for any Workers.
 	serialStats, serialSnap, serialArr := runWide(t, 1)
 	for _, workers := range []int{2, 4, 8} {
 		parStats, parSnap, parArr := runWide(t, workers)
@@ -176,6 +218,18 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		}
 		if !bytes.Equal(serialSnap, parSnap) {
 			t.Errorf("workers=%d: obs snapshots differ (%d vs %d bytes)", workers, len(serialSnap), len(parSnap))
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		stStats, stSnap, stArr := runWideStepped(t, workers)
+		if !reflect.DeepEqual(serialStats, stStats) {
+			t.Errorf("stepped workers=%d: RunStats diverged:\nrun     %+v\nstepped %+v", workers, serialStats, stStats)
+		}
+		if !reflect.DeepEqual(serialArr, stArr) {
+			t.Errorf("stepped workers=%d: sink arrival times diverged", workers)
+		}
+		if !bytes.Equal(serialSnap, stSnap) {
+			t.Errorf("stepped workers=%d: obs snapshots differ (%d vs %d bytes)", workers, len(serialSnap), len(stSnap))
 		}
 	}
 }

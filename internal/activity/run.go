@@ -1,0 +1,388 @@
+package activity
+
+import (
+	"fmt"
+
+	"avdb/internal/avtime"
+	"avdb/internal/obs"
+	"avdb/internal/sched"
+)
+
+// GraphRun is one graph execution, unrolled into a resumable per-tick
+// state machine so a scheduler can interleave several runs on one shared
+// clock.  The protocol is:
+//
+//	r, err := g.Begin(cfg)        // validate, levelize, open spans
+//	for {
+//	    done, err := r.Tick()     // one wavefront over every level
+//	    if err != nil { break }
+//	    r.Commit()                // advance the clock past the tick
+//	    if done { break }
+//	}
+//	stats, err := r.Finish()      // drain, close spans, stop nodes
+//
+// Graph.Run drives exactly this loop, so a run stepped externally (by
+// core.Engine) is byte-identical — same RunStats, same obs output — to a
+// direct Run when nothing else shares the clock.  An external driver may
+// replace Commit with its own clock advance covering several runs; Tick
+// itself never moves the clock.
+//
+// GraphRun is not safe for concurrent use: Tick, Commit, SetRound and
+// Finish must be called from one goroutine at a time.
+type GraphRun struct {
+	g        *Graph
+	clock    *sched.VirtualClock
+	rate     avtime.Rate
+	maxTicks int
+
+	order    []Activity
+	conns    []*Connection
+	incoming map[string][]*Connection
+	levels   [][]Activity
+	pool     *tickPool
+	gate     *sched.AdvanceGate
+	entries  []tickEntry
+
+	startAt avtime.WorldTime
+	lastNow avtime.WorldTime // scheduled time of the last executed tick
+
+	sink      obs.Sink
+	pbSpan    obs.SpanID
+	actSpans  map[string]obs.SpanID
+	connSpans map[*Connection]obs.SpanID
+
+	stats    *RunStats
+	tick     int   // ticks executed so far
+	round    int64 // round tag for the next tick; <0 follows the tick index
+	runErr   error
+	done     bool
+	finished bool
+}
+
+// Begin validates the configuration, freezes the graph's topology into
+// dependency levels, opens the playback/activity/connection spans and
+// returns a run ready for its first Tick.  The graph's nodes must already
+// be started.  On error nothing is torn down (matching Run's historical
+// behavior); the caller still owns the started graph.
+func (g *Graph) Begin(cfg RunConfig) (*GraphRun, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("activity: RunConfig needs a clock")
+	}
+	rate := cfg.Rate
+	if rate.IsZero() {
+		rate = avtime.RateVideo30
+	}
+	maxTicks := cfg.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = 10_000_000
+	}
+	order, err := g.topo()
+	if err != nil {
+		return nil, err
+	}
+	conns := g.Connections()
+	incoming := make(map[string][]*Connection)
+	for _, c := range conns {
+		incoming[c.to.Name()] = append(incoming[c.to.Name()], c)
+	}
+	levels := levelize(order, conns)
+	workers := resolveWorkers(cfg.Workers, maxWidth(levels))
+	var pool *tickPool
+	if workers > 1 {
+		pool = newTickPool(workers)
+	}
+	r := &GraphRun{
+		g:         g,
+		clock:     cfg.Clock,
+		rate:      rate,
+		maxTicks:  maxTicks,
+		order:     order,
+		conns:     conns,
+		incoming:  incoming,
+		levels:    levels,
+		pool:      pool,
+		gate:      sched.NewAdvanceGate(cfg.Clock),
+		entries:   make([]tickEntry, 0, len(order)),
+		startAt:   cfg.Clock.Now(),
+		sink:      cfg.Obs,
+		connSpans: map[*Connection]obs.SpanID{},
+		stats:     &RunStats{},
+		round:     -1,
+	}
+	// Observability: one playback span for the run, one activity span per
+	// node and one connection span per edge, all closed by Finish on any
+	// path.  Every chunk delivery nests a chunk span under its connection.
+	// All guards are nil checks so an uninstrumented run never touches the
+	// sink.
+	if r.sink != nil {
+		r.pbSpan = r.sink.BeginSpan(cfg.ObsParent, obs.KindPlayback, g.name, r.startAt)
+		r.actSpans = make(map[string]obs.SpanID, len(order))
+		for _, node := range order {
+			r.actSpans[node.Name()] = r.sink.BeginSpan(r.pbSpan, obs.KindActivity, node.Name(), r.startAt)
+		}
+		for _, c := range conns {
+			r.connSpans[c] = r.sink.BeginSpan(r.pbSpan, obs.KindConnection, c.label, r.startAt)
+		}
+		// Executor shape, not executor configuration: both gauges depend
+		// only on the graph, so serial and parallel snapshots stay
+		// byte-identical.
+		r.sink.SetGauge("exec.levels", int64(len(levels)))
+		r.sink.SetGauge("exec.width", int64(maxWidth(levels)))
+	}
+	return r, nil
+}
+
+// Graph returns the graph this run executes.
+func (r *GraphRun) Graph() *Graph { return r.g }
+
+// Rate returns the run's tick rate.
+func (r *GraphRun) Rate() avtime.Rate { return r.rate }
+
+// Ticks returns the number of ticks executed so far.
+func (r *GraphRun) Ticks() int { return r.tick }
+
+// Err returns the run's terminal error, if a Tick has failed.
+func (r *GraphRun) Err() error { return r.runErr }
+
+// Done reports whether the run has no more ticks to execute.
+func (r *GraphRun) Done() bool { return r.done || r.runErr != nil || r.finished }
+
+// NextDue returns the world time the run's next tick is scheduled for.
+// A scheduler interleaving runs at different rates picks the run(s) with
+// the smallest NextDue each step.
+func (r *GraphRun) NextDue() avtime.WorldTime {
+	return r.startAt + r.rate.DurationOf(avtime.ObjectTime(r.tick))
+}
+
+// CommitHorizon returns the clock value the run would commit after its
+// last executed tick: the tick's scheduled time plus one tick interval.
+// It is intentionally NOT NextDue — rational rates round per tick index,
+// so lastNow+unit can differ from startAt+DurationOf(tick) by a
+// microsecond, and byte-identity with the historical run loop requires
+// the former.  Before the first tick it returns the start time (a no-op
+// commit).
+func (r *GraphRun) CommitHorizon() avtime.WorldTime {
+	if r.tick == 0 {
+		return r.startAt
+	}
+	return r.lastNow + r.rate.UnitDuration()
+}
+
+// SetRound tags the next Tick's chunk requests with an explicit storage
+// service round.  The multi-session engine numbers rounds by engine step
+// so concurrent graphs share per-disk SCAN-EDF batches; a standalone run
+// leaves the default (the tick index).
+func (r *GraphRun) SetRound(round int64) { r.round = round }
+
+// Commit advances the shared clock past the last executed tick and
+// refreshes Elapsed.  Single-run drivers call it after every successful
+// Tick; a multi-run scheduler instead commits once per step, to the
+// minimum CommitHorizon across its active runs.
+func (r *GraphRun) Commit() {
+	r.gate.CommitTick(r.CommitHorizon())
+	r.stats.Elapsed = r.clock.Now() - r.startAt
+}
+
+// Tick executes one scheduling interval: every dependency level in
+// order, with the phase A/B/C discipline of executor.go (serial
+// delivery, pooled execution, serial publication), so any Workers count
+// reproduces the serial byte stream.  It returns done=true when the run
+// has nothing further to execute — no node running, every source
+// exhausted, or the tick bound reached.  Tick never advances the clock;
+// the caller commits (Commit, or a scheduler-wide advance) between
+// ticks.  After an error the run is terminal and Finish skips the drain.
+func (r *GraphRun) Tick() (bool, error) {
+	if r.finished || r.runErr != nil || r.done {
+		return true, r.runErr
+	}
+	if r.tick >= r.maxTicks {
+		r.done = true
+		return true, nil
+	}
+	// Keep Elapsed current even when an external scheduler owns the
+	// commit: at this point the clock covers every previously committed
+	// tick, which is exactly what the historical loop recorded.
+	r.stats.Elapsed = r.clock.Now() - r.startAt
+
+	tick := r.tick
+	stats := r.stats
+	sink := r.sink
+	now := r.startAt + r.rate.DurationOf(avtime.ObjectTime(tick))
+	iv := avtime.Interval{Start: now, Dur: r.rate.UnitDuration()}
+	round := r.round
+	if round < 0 {
+		round = int64(tick)
+	}
+
+	anyRunning := false
+	var last avtime.WorldTime
+	produced := make(map[*Port]*Chunk)
+	for _, level := range r.levels {
+		r.entries = r.entries[:0]
+
+		// Phase A — serial, in topological order: move chunks across
+		// connections, account faults, emit chunk spans, stage every
+		// running node's tick inputs.  Producers sit in strictly
+		// earlier levels, so `produced` is complete for this level.
+		for _, node := range level {
+			if node.State() != StateStarted {
+				continue
+			}
+			anyRunning = true
+			tc := NewTickContext(now, tick, iv)
+			tc.Round = round
+			for _, conn := range r.incoming[node.Name()] {
+				src := produced[conn.fromPort]
+				if src == nil {
+					continue
+				}
+				oc := conn.deliver(src)
+				if oc.err != nil {
+					r.runErr = oc.err
+					return true, r.runErr
+				}
+				if oc.chunk == nil {
+					// Lost in flight or absorbed by a fail-soft connection:
+					// nothing arrives this tick; the receiver sees the gap and
+					// the client hears about it.
+					if oc.dropped {
+						stats.ChunksDropped++
+					}
+					if oc.failed {
+						stats.TransferFailures++
+					}
+					emitFault(conn.to, EventInfo{Event: EventFault, Activity: conn.to.Name(), At: now, Seq: src.Seq})
+					continue
+				}
+				if oc.corrupted {
+					stats.ChunksCorrupted++
+				}
+				if sink != nil {
+					cs := sink.BeginSpan(r.connSpans[conn], obs.KindChunk, conn.label, src.At)
+					sink.SpanAttr(cs, "seq", int64(src.Seq))
+					sink.EndSpan(cs, oc.chunk.Arrived)
+					sink.Observe("stream.chunk_latency_us", int64(oc.chunk.Arrived-oc.chunk.At))
+				}
+				tc.SetIn(conn.toPort.Name(), oc.chunk)
+				stats.Chunks++
+				stats.BytesMoved += oc.chunk.Size()
+				if oc.chunk.Arrived > last {
+					last = oc.chunk.Arrived
+				}
+			}
+			r.entries = append(r.entries, tickEntry{node: node, tc: tc})
+		}
+
+		// Phase B — tick the level: on the pool when more than one
+		// node is staged, inline otherwise.  A single lane executes
+		// in entry order, which is exactly the serial order.
+		if r.pool != nil && len(r.entries) > 1 {
+			r.pool.run(r.entries)
+		} else {
+			for i := range r.entries {
+				r.entries[i].exec()
+			}
+		}
+
+		// Phase C — serial, in topological order: surface the first
+		// error, stamp activity latency onto outputs, publish chunks
+		// for the next level.
+		for i := range r.entries {
+			e := &r.entries[i]
+			if e.err != nil {
+				r.runErr = fmt.Errorf("activity: %s at tick %d: %w", e.node.Name(), tick, e.err)
+				return true, r.runErr
+			}
+			for port, c := range e.tc.Outputs() {
+				if c == nil {
+					continue
+				}
+				if c.Arrived < now {
+					c.Arrived = now
+				}
+				c.Arrived += e.lat
+				propagateExtra(c, e.lat)
+				p, ok := e.node.Port(port)
+				if !ok {
+					r.runErr = fmt.Errorf("activity: %s emitted on unknown port %q", e.node.Name(), port)
+					return true, r.runErr
+				}
+				if c.Arrived > last {
+					last = c.Arrived
+				}
+				produced[p] = c
+			}
+		}
+	}
+
+	stats.Ticks++
+	if last > 0 {
+		r.gate.Propose(last)
+	}
+	r.lastNow = now
+	r.tick++
+	if !anyRunning || r.g.sourcesFinished() || r.tick >= r.maxTicks {
+		r.done = true
+	}
+	return r.done, nil
+}
+
+// Finish completes the run: on success it drains the advance gate so the
+// final clock reading covers the latest in-flight arrival, then on every
+// path it closes the observability spans, releases the worker pool and
+// stops the graph's nodes (teardown failures surface as StopErr).
+// Finish is idempotent; later calls return the same result.
+func (r *GraphRun) Finish() (*RunStats, error) {
+	if r.finished {
+		return r.stats, r.runErr
+	}
+	r.finished = true
+	if r.runErr == nil {
+		// Drain: chunks still in flight when the sources finish belong to
+		// this run.  The final clock reading must cover the latest
+		// arrival, so tail latency shows up in Elapsed instead of being
+		// cut off.
+		r.stats.LastArrival = r.gate.Latest()
+		r.gate.Drain()
+		r.stats.Elapsed = r.clock.Now() - r.startAt
+	}
+	r.closeObs()
+	if r.pool != nil {
+		r.pool.close()
+	}
+	// A finished run leaves every activity quiescent so the graph can be
+	// cued and started again; teardown failures surface through stats.
+	if err := r.g.Stop(); err != nil {
+		r.stats.StopErr = err
+	}
+	return r.stats, r.runErr
+}
+
+// closeObs ends every span opened by Begin and publishes the run's
+// stream counters, at the clock's current (post-drain) reading.
+func (r *GraphRun) closeObs() {
+	if r.sink == nil {
+		return
+	}
+	now := r.clock.Now()
+	for _, c := range r.conns {
+		id := r.connSpans[c]
+		c.mu.Lock()
+		chunks, bytes := c.chunks, c.bytes
+		c.mu.Unlock()
+		r.sink.SpanAttr(id, "chunks", chunks)
+		r.sink.SpanAttr(id, "bytes", bytes)
+		r.sink.EndSpan(id, now)
+	}
+	for _, node := range r.order {
+		r.sink.EndSpan(r.actSpans[node.Name()], now)
+	}
+	r.sink.SpanAttr(r.pbSpan, "ticks", int64(r.stats.Ticks))
+	r.sink.EndSpan(r.pbSpan, now)
+	r.sink.Count("sched.ticks", int64(r.stats.Ticks))
+	r.sink.Count("stream.chunks", r.stats.Chunks)
+	r.sink.Count("stream.bytes", r.stats.BytesMoved)
+	r.sink.Count("stream.dropped", r.stats.ChunksDropped)
+	r.sink.Count("stream.corrupted", r.stats.ChunksCorrupted)
+	r.sink.Count("stream.transfer_failures", r.stats.TransferFailures)
+}

@@ -82,6 +82,7 @@ type Database struct {
 	kv        *txn.KV
 	clock     *sched.VirtualClock
 	links     *linkStore
+	runEngine *Engine // the one run loop advancing the shared clock
 
 	workers int // executor lanes for sessions; 0 = GOMAXPROCS
 
@@ -125,8 +126,17 @@ func Open(cfg Config) (*Database, error) {
 	db.mediaSt.SetCachePolicy(cfg.Cache)
 	db.mediaSt.SetStriping(cfg.Striping)
 	db.engine = query.NewEngine(db.schema, db.objects)
+	db.runEngine = newEngine(db)
 	return db, nil
 }
+
+// Engine returns the database's multi-session stream engine: the single
+// run loop every started playback is scheduled on.
+func (db *Database) Engine() *Engine { return db.runEngine }
+
+// MediaIOStats returns the media store's cumulative disk-scheduling
+// counters: rounds flushed, seeks charged and saved, deadline misses.
+func (db *Database) MediaIOStats() storage.IOStats { return db.mediaSt.IOStats() }
 
 // Name returns the database's name.
 func (db *Database) Name() string { return db.name }

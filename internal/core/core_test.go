@@ -22,7 +22,7 @@ import (
 
 const testQualityStr = "32x24x8@30"
 
-func testDB(t *testing.T) *Database {
+func testDB(t testing.TB) *Database {
 	t.Helper()
 	db, err := OpenDefault("test", PlatformConfig{Seed: 7})
 	if err != nil {
@@ -62,7 +62,7 @@ func testClip(frames int) *media.VideoValue {
 }
 
 // storeNewscast inserts a SimpleNewscast with a placed video value.
-func storeNewscast(t *testing.T, db *Database, title string, frames int) schema.OID {
+func storeNewscast(t testing.TB, db *Database, title string, frames int) schema.OID {
 	t.Helper()
 	o, err := db.NewObject("SimpleNewscast")
 	if err != nil {

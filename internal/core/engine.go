@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/sched"
+)
+
+// Engine is the database's multi-session run loop: the one place the
+// shared virtual clock advances.  "Special devices and scheduling are
+// under database control and shared between clients" (§3.3) — so a
+// started playback is not a private goroutine racing the clock forward;
+// it is a schedulable entity admitted into the engine's run set.
+//
+// Each engine step:
+//
+//  1. picks the earliest next-due time across admitted runs (sessions
+//     may tick at different rates; no LCM is needed — the engine simply
+//     steps to whichever run is due next),
+//  2. ticks every run due at that time, in admission order, tagging all
+//     of them with the same storage service round so their chunk
+//     requests merge into shared per-disk SCAN-EDF batches,
+//  3. commits the clock once, to the minimum commit horizon across the
+//     surviving runs, via the AdvanceGate discipline,
+//  4. retires finished runs (drain, span close-out, node teardown) and
+//     completes their Playback handles.
+//
+// A single admitted session therefore executes the exact sequence
+// Graph.Run would: same tick times, same round numbers, same commit
+// points — byte-identical RunStats and obs output for any Workers.
+//
+// The loop runs on one goroutine, started lazily at first admission and
+// exited when the run set drains; the step counter persists across
+// restarts so storage round numbers never rewind below the IOSched
+// flush watermark.
+type Engine struct {
+	db *Database
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	set      sched.RunSet
+	entries  map[sched.RunID]*engineEntry
+	running  bool // loop goroutine alive
+	paused   bool
+	stepping bool // a step is executing outside the lock
+	step     int64
+	finished int64 // runs retired since open
+}
+
+// engineEntry is one admitted playback.
+type engineEntry struct {
+	id       sched.RunID
+	session  string
+	graph    string
+	run      *activity.GraphRun
+	playback *Playback
+	ticks    int
+}
+
+func newEngine(db *Database) *Engine {
+	e := &Engine{db: db, entries: make(map[sched.RunID]*engineEntry)}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// admit enters a begun run into the run set and wakes (or starts) the
+// loop.  Called by Session.StartAt with the graph already started and
+// the playback handle registered on the session.
+func (e *Engine) admit(sessionID string, run *activity.GraphRun, p *Playback) {
+	e.mu.Lock()
+	id := e.set.Admit(run.NextDue())
+	e.entries[id] = &engineEntry{
+		id:       id,
+		session:  sessionID,
+		graph:    run.Graph().Name(),
+		run:      run,
+		playback: p,
+	}
+	active := int64(len(e.entries))
+	if !e.running {
+		e.running = true
+		go e.loop()
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if sink := e.db.sink(); sink != nil {
+		sink.SetGauge("engine.sessions.active", active)
+	}
+}
+
+// Pause holds the engine between steps: admitted runs stay in the set
+// but no tick executes until Resume.  Pause waits for an in-flight step
+// to finish, so after it returns no graph is mid-tick.  Tests use the
+// pair to admit several sessions and release them into the same first
+// step deterministically.
+func (e *Engine) Pause() {
+	e.mu.Lock()
+	e.paused = true
+	for e.stepping {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Resume releases a paused engine.
+func (e *Engine) Resume() {
+	e.mu.Lock()
+	e.paused = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// loop is the engine goroutine: one iteration per step, exiting when
+// the run set drains.  Ticks execute outside the engine lock so event
+// handlers running on this goroutine may call back into the database
+// (start another session, renegotiate quality) without deadlocking.
+func (e *Engine) loop() {
+	for {
+		e.mu.Lock()
+		for e.paused {
+			e.cond.Wait()
+		}
+		if e.set.Len() == 0 {
+			e.running = false
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		due, ids, _ := e.set.DueBatch()
+		step := e.step
+		e.step++
+		batch := make([]*engineEntry, 0, len(ids))
+		for _, id := range ids {
+			batch = append(batch, e.entries[id])
+		}
+		e.stepping = true
+		e.mu.Unlock()
+
+		sink := e.db.sink()
+		if sink != nil {
+			// Lag is how far the committed clock trails the step's due
+			// time; it goes positive when a finishing run's drain pushed
+			// the clock past other runs' schedules.
+			lag := e.db.clock.Now() - due
+			if lag < 0 {
+				lag = 0
+			}
+			sink.Observe("engine.tick.lag", int64(lag))
+		}
+
+		// Phase 1 — tick every due run, in admission order, all tagged
+		// with this step's service round so the store batches their chunk
+		// requests into the same per-disk SCAN-EDF rounds.
+		var retired []*engineEntry
+		for _, en := range batch {
+			en.run.SetRound(step)
+			var done bool
+			labels := pprof.Labels("avdb_session", en.session, "avdb_graph", en.graph)
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				done, _ = en.run.Tick()
+			})
+			en.ticks = en.run.Ticks()
+			if done || en.run.Err() != nil {
+				retired = append(retired, en)
+			}
+		}
+
+		// Phase 2 — one clock commit for the whole step: the minimum
+		// commit horizon across runs that ticked cleanly.  Runs admitted
+		// but not yet ticked contribute their start time, which the clock
+		// already covers, so they never drag it backwards — AdvanceTo is
+		// monotone.
+		horizon := avtime.WorldTime(-1)
+		e.mu.Lock()
+		for _, en := range e.entries {
+			if en.run.Err() != nil {
+				continue
+			}
+			if h := en.run.CommitHorizon(); horizon < 0 || h < horizon {
+				horizon = h
+			}
+		}
+		for _, en := range batch {
+			if en.run.Err() == nil && !en.run.Done() {
+				e.set.Reschedule(en.id, en.run.NextDue())
+			}
+		}
+		e.mu.Unlock()
+		if horizon >= 0 {
+			e.db.clock.AdvanceTo(horizon)
+		}
+		if sink != nil {
+			sink.Count("engine.steps", 1)
+		}
+
+		// Phase 3 — retire finished runs: drain their gates, close spans,
+		// stop nodes, complete the Playback so waiters unblock.
+		for _, en := range retired {
+			stats, err := en.run.Finish()
+			e.mu.Lock()
+			e.set.Remove(en.id)
+			delete(e.entries, en.id)
+			e.finished++
+			active := int64(len(e.entries))
+			e.mu.Unlock()
+			en.playback.complete(stats, err)
+			if sink != nil {
+				sink.Count("engine.runs.finished", 1)
+				sink.SetGauge("engine.sessions.active", active)
+			}
+		}
+
+		e.mu.Lock()
+		e.stepping = false
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// EngineSession describes one admitted run for introspection (the
+// avdbsh `sessions` command).
+type EngineSession struct {
+	Session string           // owning session id
+	Graph   string           // graph name
+	Rate    avtime.Rate      // tick rate
+	Ticks   int              // ticks executed so far
+	Due     avtime.WorldTime // when the next tick is due
+	State   string           // "admitted" until the first tick, then "running"
+}
+
+// Sessions lists the active engine entries in admission order.
+func (e *Engine) Sessions() []EngineSession {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]EngineSession, 0, len(e.entries))
+	// Walk the run set rather than the map so the order is admission
+	// order, not map order.
+	for _, id := range e.admissionOrderLocked() {
+		en := e.entries[id]
+		state := "running"
+		if en.run.Ticks() == 0 {
+			state = "admitted"
+		}
+		out = append(out, EngineSession{
+			Session: en.session,
+			Graph:   en.graph,
+			Rate:    en.run.Rate(),
+			Ticks:   en.run.Ticks(),
+			Due:     en.run.NextDue(),
+			State:   state,
+		})
+	}
+	return out
+}
+
+// admissionOrderLocked returns the active run ids in admission order.
+func (e *Engine) admissionOrderLocked() []sched.RunID {
+	ids := make([]sched.RunID, 0, len(e.entries))
+	for id := range e.entries {
+		ids = append(ids, id)
+	}
+	// RunIDs are handed out in admission order, so sorting by id IS
+	// admission order; insertion sort keeps this dependency-free.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// EngineStats summarizes the engine's lifetime counters.
+type EngineStats struct {
+	Active   int   // runs currently admitted
+	Steps    int64 // engine steps executed
+	Finished int64 // runs retired
+	Paused   bool
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Active:   len(e.entries),
+		Steps:    e.step,
+		Finished: e.finished,
+		Paused:   e.paused,
+	}
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"context"
+	"errors"
 	"fmt"
-	"runtime/pprof"
 	"sync"
 
 	"avdb/internal/activity"
@@ -303,9 +302,10 @@ type Playback struct {
 	graph *activity.Graph
 	done  chan struct{}
 
-	mu    sync.Mutex
-	stats *activity.RunStats
-	err   error
+	mu      sync.Mutex
+	stats   *activity.RunStats
+	err     error
+	stopErr error // first failed Stop, kept for Session.Close reporting
 }
 
 // Start launches the session's graph.  It returns immediately; the
@@ -334,8 +334,6 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 	if err := s.graph.Start(); err != nil {
 		return nil, err
 	}
-	p := &Playback{graph: s.graph, done: make(chan struct{})}
-	s.playback = p
 	workers := s.workers
 	if workers == 0 {
 		workers = s.db.workers
@@ -344,17 +342,19 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 		Clock: s.db.clock, Rate: rate, MaxTicks: maxTicks, Workers: workers,
 		Obs: s.db.sink(), ObsParent: s.span,
 	}
-	// The playback goroutine carries pprof labels so CPU and goroutine
-	// profiles of a busy database attribute samples to the session and
-	// graph that caused them.
-	labels := pprof.Labels("avdb_session", s.id, "avdb_graph", s.graph.Name())
-	go pprof.Do(context.Background(), labels, func(context.Context) {
-		stats, err := s.graph.Run(cfg)
-		p.mu.Lock()
-		p.stats, p.err = stats, err
-		p.mu.Unlock()
-		close(p.done)
-	})
+	// The playback no longer owns a private run loop: the graph is split
+	// into a resumable GraphRun and admitted to the database engine,
+	// which interleaves every active session's ticks on the one shared
+	// clock.  The Playback handle keeps the asynchronous client
+	// interface of §3.3 unchanged — Done/Wait/Stop behave as before.
+	run, err := s.graph.Begin(cfg)
+	if err != nil {
+		s.graph.Stop()
+		return nil, err
+	}
+	p := &Playback{graph: s.graph, done: make(chan struct{})}
+	s.playback = p
+	s.db.runEngine.admit(s.id, run, p)
 	return p, nil
 }
 
@@ -370,17 +370,41 @@ func (p *Playback) Wait() (*activity.RunStats, error) {
 	return p.stats, p.err
 }
 
-// Stop halts the stream; Wait still returns its statistics.
-func (p *Playback) Stop() { p.graph.Stop() }
+// complete records the run's outcome and unblocks waiters; called by
+// the engine when it retires the run.
+func (p *Playback) complete(stats *activity.RunStats, err error) {
+	p.mu.Lock()
+	p.stats, p.err = stats, err
+	p.mu.Unlock()
+	close(p.done)
+}
+
+// Stop halts the stream and reports teardown failures from the graph's
+// nodes; Wait still returns the stream's statistics.  Stopping a stream
+// that already finished is a no-op returning nil.
+func (p *Playback) Stop() error {
+	err := p.graph.Stop()
+	if err != nil {
+		p.mu.Lock()
+		if p.stopErr == nil {
+			p.stopErr = err
+		}
+		p.mu.Unlock()
+	}
+	return err
+}
 
 // Close stops any running stream and releases every resource the session
 // holds: admission grants, network connections, storage streams and
-// exclusive devices.
-func (s *Session) Close() {
+// exclusive devices.  It reports the teardown errors a stopped stream's
+// nodes raised, so a failed cleanup is visible to clients that never
+// call Playback.Wait.  Close never fails to release resources; the
+// error is purely a report.
+func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	playback := s.playback
@@ -390,11 +414,21 @@ func (s *Session) Close() {
 	s.grants, s.conns, s.streams, s.devices = nil, nil, nil, nil
 	s.mu.Unlock()
 
+	var closeErr error
 	if playback != nil {
 		playback.Stop()
 		<-playback.done
-	} else {
-		s.graph.Stop()
+		// stopErr captures the first failed Stop (ours above or an
+		// earlier client call); stats.StopErr carries the run's own
+		// teardown failures from the engine's retirement pass.
+		playback.mu.Lock()
+		closeErr = playback.stopErr
+		if playback.stats != nil && playback.stats.StopErr != nil {
+			closeErr = errors.Join(closeErr, playback.stats.StopErr)
+		}
+		playback.mu.Unlock()
+	} else if err := s.graph.Stop(); err != nil {
+		closeErr = err
 	}
 	for _, g := range grants {
 		g.Release()
@@ -410,6 +444,7 @@ func (s *Session) Close() {
 		sink.EndSpan(s.span, s.db.clock.Now())
 		sink.Count("session.closed", 1)
 	}
+	return closeErr
 }
 
 // Link returns the session's network link.

@@ -24,7 +24,8 @@ func goldenCases(t *testing.T) map[string]func() (fmt.Stringer, error) {
 		"fig3":   func() (fmt.Stringer, error) { return Fig3(60) },
 		"fig4":   func() (fmt.Stringer, error) { return Fig4(30, 320, 240, 10*media.MBPerSecond) },
 		"chaos":  func() (fmt.Stringer, error) { return Chaos(90, 7) },
-		"stripe": func() (fmt.Stringer, error) { return Stripe(90, 4) },
+		"stripe":  func() (fmt.Stringer, error) { return Stripe(90, 4) },
+		"tenancy": func() (fmt.Stringer, error) { return Tenancy(45, 4) },
 		"observe": func() (fmt.Stringer, error) {
 			res, err := Observe(60, 7)
 			if err != nil {

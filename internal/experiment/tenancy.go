@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/storage"
+)
+
+// The tenancy experiment: N client sessions all stream the same popular
+// clip — one striped placement on a fixed disk array — and the sweep
+// compares two ways of running them:
+//
+//	shared — all N playbacks admitted to the database's multi-session
+//	  engine at once.  Every engine step ticks every session, so the
+//	  sessions' chunk requests for the same frame land in the same
+//	  SCAN-EDF round: per disk the batch sorts into one run of adjacent
+//	  tracks, charging one positioned seek and riding the rest for free.
+//	serial — the same N sessions on an identical platform, each playback
+//	  run to completion before the next starts.  Every pass re-walks the
+//	  clip's tracks alone, so the array pays the full seek bill N times.
+//
+// Aggregate throughput is total bytes over the virtual wall time the
+// whole tenancy took, so shared scales with N while serial stays flat.
+// Everything is seeded virtual time; the table is deterministic.
+const (
+	tenancyWidth     = 4                       // disks the clip is striped over
+	tenancySeek      = 10 * avtime.Millisecond // average positioning time
+	tenancySettle    = 1 * avtime.Millisecond  // per-track settle
+	tenancyTracks    = 16
+	tenancyTolerance = 50 * avtime.Millisecond // presentation-deadline slack
+	tenancyLatency   = 2 * avtime.Millisecond  // lan0 latency
+	tenancySeed      = 21
+)
+
+// TenancyArm is one way of running n sessions over the shared clip.
+type TenancyArm struct {
+	Sessions   int
+	Wall       avtime.WorldTime // virtual time from first start to last finish
+	Bytes      int64            // payload bytes delivered to all sessions
+	Throughput float64          // aggregate MB/s of virtual wall time
+	Misses     []int            // per-session presentation-deadline misses
+	IO         storage.IOStats
+}
+
+// TenancyRow compares the two arms at one session count.
+type TenancyRow struct {
+	Sessions int
+	Shared   TenancyArm
+	Serial   TenancyArm
+	Speedup  float64 // shared throughput over serial
+}
+
+// TenancyResult is the session-count sweep.
+type TenancyResult struct {
+	Frames int
+	Width  int
+	DiskBW media.DataRate // per-disk bandwidth
+	Rows   []TenancyRow
+}
+
+// tenancyPlatform builds the fixed array: width striped disks with a
+// positional geometry, a client link, and the one placed clip.  The
+// platform is sized by maxSessions so every row of the sweep runs on
+// identical hardware.
+func tenancyPlatform(frames, maxSessions int) (*core.Database, schema.OID, error) {
+	frameBytes := int64(clipW * clipH * clipDepth / 8)
+	clipBytes := int64(frames) * frameBytes
+	diskBW := media.DataRate(maxSessions) * media.MBPerSecond
+	// Size each disk so the clip's stripe spans about half its tracks:
+	// SCAN ordering then has real distances to amortize.
+	capacity := 2*clipBytes/int64(tenancyWidth) + frameBytes
+	db, err := core.Open(core.Config{
+		Name: "tenancy",
+		Resources: sched.Resources{
+			Buffers: 8*maxSessions + 16,
+			CPU:     100 * media.MBPerSecond,
+			Bus:     100 * media.MBPerSecond,
+		},
+		Striping: storage.StripePolicy{Width: tenancyWidth, Seeks: true, Rounds: true},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < tenancyWidth; i++ {
+		d := device.NewDisk(fmt.Sprintf("disk%d", i), capacity, diskBW, tenancySeek)
+		if err := d.SetGeometry(tenancyTracks, tenancySettle); err != nil {
+			return nil, 0, err
+		}
+		if err := db.Devices().Register(d); err != nil {
+			return nil, 0, err
+		}
+	}
+	linkBW := media.DataRate(maxSessions+1) * media.MBPerSecond
+	if err := db.Network().AddLink(netsim.NewLink("lan0", linkBW, tenancyLatency, 0, tenancySeed)); err != nil {
+		return nil, 0, err
+	}
+	if _, err := db.DefineClass("Clip", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "video", Kind: schema.KindMedia, MediaKind: media.KindVideo},
+	}); err != nil {
+		return nil, 0, err
+	}
+	obj, err := db.NewObject("Clip")
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := db.SetAttr(obj.OID(), "title", schema.String("tenancy")); err != nil {
+		return nil, 0, err
+	}
+	if err := db.SetAttr(obj.OID(), "video", schema.Media(stdClip(frames, tenancySeed))); err != nil {
+		return nil, 0, err
+	}
+	if _, err := db.PlaceMediaStriped(obj.OID(), "video", media.MBPerSecond, tenancyWidth); err != nil {
+		return nil, 0, err
+	}
+	return db, obj.OID(), nil
+}
+
+// tenancyArm runs n sessions over the shared clip, concurrently under
+// the engine or back-to-back, on a fresh platform sized for maxSessions.
+func tenancyArm(frames, n, maxSessions int, shared bool) (TenancyArm, error) {
+	db, oid, err := tenancyPlatform(frames, maxSessions)
+	if err != nil {
+		return TenancyArm{}, fmt.Errorf("experiment: tenancy platform: %w", err)
+	}
+	q := stdQuality()
+	type tenant struct {
+		sess *core.Session
+		win  *activities.VideoWindow
+	}
+	tenants := make([]tenant, n)
+	for i := 0; i < n; i++ {
+		sess, err := db.Connect(fmt.Sprintf("tenant-%d", i), "lan0")
+		if err != nil {
+			return TenancyArm{}, err
+		}
+		vr, err := activities.NewVideoReader("reader", activity.AtDatabase, media.TypeRawVideo30)
+		if err != nil {
+			return TenancyArm{}, err
+		}
+		win := activities.NewVideoWindow("window", activity.AtApplication, q, tenancyTolerance)
+		for _, a := range []activity.Activity{vr, win} {
+			if err := sess.Install(a, sched.Resources{}); err != nil {
+				return TenancyArm{}, err
+			}
+		}
+		if _, err := sess.Connect(vr, "out", win, "in", q.DataRate()); err != nil {
+			return TenancyArm{}, err
+		}
+		if err := sess.BindValue(oid, "video", vr, "out", media.MBPerSecond); err != nil {
+			return TenancyArm{}, err
+		}
+		tenants[i] = tenant{sess: sess, win: win}
+	}
+
+	arm := TenancyArm{Sessions: n}
+	if shared {
+		// Pause admits every playback into the same first engine step,
+		// so all n sessions tick — and request chunks — in lockstep.
+		db.Engine().Pause()
+		pbs := make([]*core.Playback, n)
+		for i, t := range tenants {
+			pb, err := t.sess.Start()
+			if err != nil {
+				return TenancyArm{}, err
+			}
+			pbs[i] = pb
+		}
+		db.Engine().Resume()
+		for _, pb := range pbs {
+			stats, err := pb.Wait()
+			if err != nil {
+				return TenancyArm{}, err
+			}
+			arm.Bytes += stats.BytesMoved
+		}
+	} else {
+		for _, t := range tenants {
+			pb, err := t.sess.Start()
+			if err != nil {
+				return TenancyArm{}, err
+			}
+			stats, err := pb.Wait()
+			if err != nil {
+				return TenancyArm{}, err
+			}
+			arm.Bytes += stats.BytesMoved
+		}
+	}
+	arm.Wall = db.Clock().Now()
+	for _, t := range tenants {
+		arm.Misses = append(arm.Misses, t.win.Monitor().Misses())
+	}
+	arm.IO = db.MediaIOStats()
+	for _, t := range tenants {
+		if err := t.sess.Close(); err != nil {
+			return TenancyArm{}, fmt.Errorf("experiment: tenancy close: %w", err)
+		}
+	}
+	if arm.Wall > 0 {
+		arm.Throughput = float64(arm.Bytes) / (float64(arm.Wall) / float64(avtime.Second)) / (1 << 20)
+	}
+	return arm, nil
+}
+
+// Tenancy sweeps session counts (doubling up to maxSessions) over the
+// shared-clip workload, running the engine-shared and back-to-back arms
+// at each count.
+func Tenancy(frames, maxSessions int) (*TenancyResult, error) {
+	if frames < 2 || maxSessions < 1 {
+		return nil, fmt.Errorf("experiment: tenancy needs frames >= 2 and sessions >= 1")
+	}
+	var counts []int
+	for n := 1; n < maxSessions; n *= 2 {
+		counts = append(counts, n)
+	}
+	counts = append(counts, maxSessions)
+	res := &TenancyResult{
+		Frames: frames,
+		Width:  tenancyWidth,
+		DiskBW: media.DataRate(maxSessions) * media.MBPerSecond,
+	}
+	for _, n := range counts {
+		shared, err := tenancyArm(frames, n, maxSessions, true)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := tenancyArm(frames, n, maxSessions, false)
+		if err != nil {
+			return nil, err
+		}
+		row := TenancyRow{Sessions: n, Shared: shared, Serial: serial}
+		if serial.Throughput > 0 {
+			row.Speedup = shared.Throughput / serial.Throughput
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *TenancyResult) String() string {
+	header := []string{"sessions", "shared wall", "serial wall", "shared MB/s", "serial MB/s", "speedup",
+		"shared seeks", "serial seeks", "saved", "misses", "max batch"}
+	rows := make([][]string, 0, len(r.Rows))
+	misses := func(a TenancyArm) string {
+		parts := make([]string, len(a.Misses))
+		for i, m := range a.Misses {
+			parts[i] = fmt.Sprint(m)
+		}
+		return strings.Join(parts, "/")
+	}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Sessions),
+			row.Shared.Wall.String(),
+			row.Serial.Wall.String(),
+			fmt.Sprintf("%.2f", row.Shared.Throughput),
+			fmt.Sprintf("%.2f", row.Serial.Throughput),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprint(row.Shared.IO.SeeksCharged),
+			fmt.Sprint(row.Serial.IO.SeeksCharged),
+			fmt.Sprint(row.Shared.IO.SeeksSaved),
+			misses(row.Shared),
+			fmt.Sprint(row.Shared.IO.MaxBatch),
+		})
+	}
+	s := fmt.Sprintf("Tenancy: up to %d sessions streaming one clip (%d frames, striped over %d disks, %v each)\n",
+		r.Rows[len(r.Rows)-1].Sessions, r.Frames, r.Width, r.DiskBW)
+	s += "shared = all sessions on the database engine, requests merged into SCAN-EDF rounds;\n"
+	s += "serial = same sessions back-to-back on identical hardware; all times are virtual\n\n"
+	s += table(header, rows)
+	return s
+}

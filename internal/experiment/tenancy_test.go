@@ -1,0 +1,37 @@
+package experiment
+
+import "testing"
+
+// TestTenancySharedBeatsSerial pins the point of the multi-session
+// engine at the disk: once two or more sessions stream the same clip,
+// merging their per-tick chunk requests into shared SCAN-EDF rounds
+// must charge strictly fewer seeks — and finish in less virtual wall
+// time — than running the identical sessions back-to-back.
+func TestTenancySharedBeatsSerial(t *testing.T) {
+	res, err := Tenancy(45, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		sh, se := row.Shared, row.Serial
+		if sh.Bytes != se.Bytes {
+			t.Errorf("%d sessions: arms moved different byte totals: %d vs %d", row.Sessions, sh.Bytes, se.Bytes)
+		}
+		if row.Sessions < 2 {
+			continue
+		}
+		if sh.IO.SeeksCharged >= se.IO.SeeksCharged {
+			t.Errorf("%d sessions: shared rounds charged %d seeks, serial %d — sharing must cost fewer",
+				row.Sessions, sh.IO.SeeksCharged, se.IO.SeeksCharged)
+		}
+		if sh.IO.SeeksSaved == 0 {
+			t.Errorf("%d sessions: shared rounds saved no seeks; requests were not batched", row.Sessions)
+		}
+		if sh.Wall >= se.Wall {
+			t.Errorf("%d sessions: shared wall %v not below serial wall %v", row.Sessions, sh.Wall, se.Wall)
+		}
+		if sh.IO.MaxBatch < row.Sessions {
+			t.Errorf("%d sessions: max batch %d never merged all sessions into one round", row.Sessions, sh.IO.MaxBatch)
+		}
+	}
+}

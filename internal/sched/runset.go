@@ -1,0 +1,80 @@
+package sched
+
+import "avdb/internal/avtime"
+
+// RunID names one admitted run inside a RunSet.
+type RunID int64
+
+// RunSet is the admission book the multi-session engine schedules from:
+// a set of runs, each with the world time its next tick is due, kept in
+// admission order.  Every step the engine asks for the batch of runs
+// sharing the earliest due time, ticks them, and reschedules each with
+// its new due time.  Admission order is the tie-break, so the step
+// sequence is deterministic for a given admission history regardless of
+// map iteration or goroutine interleaving.
+//
+// RunSet is not goroutine-safe; the engine serializes access under its
+// own lock.
+type RunSet struct {
+	next    RunID
+	entries []runSetEntry // admission order
+}
+
+type runSetEntry struct {
+	id  RunID
+	due avtime.WorldTime
+}
+
+// Admit adds a run due at the given time and returns its id.
+func (s *RunSet) Admit(due avtime.WorldTime) RunID {
+	s.next++
+	id := s.next
+	s.entries = append(s.entries, runSetEntry{id: id, due: due})
+	return id
+}
+
+// Reschedule updates a run's next due time.  Unknown ids are ignored
+// (the run may have been removed by a concurrent finish).
+func (s *RunSet) Reschedule(id RunID, due avtime.WorldTime) {
+	for i := range s.entries {
+		if s.entries[i].id == id {
+			s.entries[i].due = due
+			return
+		}
+	}
+}
+
+// Remove deletes a run from the set, preserving admission order of the
+// remainder.
+func (s *RunSet) Remove(id RunID) {
+	for i := range s.entries {
+		if s.entries[i].id == id {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len returns the number of admitted runs.
+func (s *RunSet) Len() int { return len(s.entries) }
+
+// DueBatch returns the earliest due time and the ids of every run due at
+// exactly that time, in admission order.  ok is false when the set is
+// empty.
+func (s *RunSet) DueBatch() (due avtime.WorldTime, ids []RunID, ok bool) {
+	if len(s.entries) == 0 {
+		return 0, nil, false
+	}
+	due = s.entries[0].due
+	for _, e := range s.entries[1:] {
+		if e.due < due {
+			due = e.due
+		}
+	}
+	for _, e := range s.entries {
+		if e.due == due {
+			ids = append(ids, e.id)
+		}
+	}
+	return due, ids, true
+}

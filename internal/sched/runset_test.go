@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"avdb/internal/avtime"
+)
+
+func TestRunSetDueBatchOrder(t *testing.T) {
+	var s RunSet
+	if _, _, ok := s.DueBatch(); ok {
+		t.Fatal("empty set reported a due batch")
+	}
+	a := s.Admit(0)
+	b := s.Admit(0)
+	c := s.Admit(50 * avtime.Millisecond)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	due, ids, ok := s.DueBatch()
+	if !ok || due != 0 {
+		t.Fatalf("DueBatch = %v,%v, want due 0", due, ok)
+	}
+	// Ties break in admission order.
+	if !reflect.DeepEqual(ids, []RunID{a, b}) {
+		t.Fatalf("batch = %v, want [%v %v]", ids, a, b)
+	}
+
+	// Reschedule the first past the third: the batch moves on.
+	s.Reschedule(a, 100*avtime.Millisecond)
+	s.Reschedule(b, 50*avtime.Millisecond)
+	due, ids, _ = s.DueBatch()
+	if due != 50*avtime.Millisecond {
+		t.Fatalf("due = %v, want 50ms", due)
+	}
+	// b and c now tie; b was admitted first.
+	if !reflect.DeepEqual(ids, []RunID{b, c}) {
+		t.Fatalf("batch = %v, want [%v %v]", ids, b, c)
+	}
+
+	s.Remove(b)
+	due, ids, _ = s.DueBatch()
+	if due != 50*avtime.Millisecond || !reflect.DeepEqual(ids, []RunID{c}) {
+		t.Fatalf("after remove: due=%v ids=%v", due, ids)
+	}
+	s.Remove(c)
+	s.Remove(a)
+	if s.Len() != 0 {
+		t.Fatalf("Len after removals = %d", s.Len())
+	}
+	// Unknown ids are ignored, not a panic.
+	s.Remove(a)
+	s.Reschedule(b, 0)
+
+	// Ids keep increasing after drain, so a restarted playback's entry
+	// never collides with a retired one.
+	d := s.Admit(0)
+	if d <= c {
+		t.Errorf("Admit after drain reused id space: %v <= %v", d, c)
+	}
+}

@@ -9,6 +9,10 @@
 #   pr4   striped storage: BenchmarkStripedRead (demand vs SCAN-EDF read
 #         path host cost) plus the deterministic virtual-time stripe
 #         experiment (aggregate MB/s and speedup per arm).
+#   pr5   multi-session engine: BenchmarkEngineSessions (host cost of the
+#         shared run loop at 1 vs 4 sessions) plus the deterministic
+#         virtual-time tenancy experiment (shared-clock sessions vs
+#         back-to-back: throughput, speedup, seeks charged/saved).
 #
 # Host speedups are hardware-dependent; the stripe experiment's virtual
 # numbers are deterministic and reproduce the committed golden file.
@@ -105,8 +109,49 @@ pr4)
     printf "}\n"
   }' > "$out"
   ;;
+pr5)
+  bench_out=$(go test -run '^$' -bench 'BenchmarkEngineSessions' -benchtime "${BENCHTIME:-20x}" -count "${BENCHCOUNT:-1}" ./internal/core/)
+  echo "$bench_out"
+  one=$(echo "$bench_out" | awk '/BenchmarkEngineSessions\/sessions-1/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  four=$(echo "$bench_out" | awk '/BenchmarkEngineSessions\/sessions-4/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  if [ -z "$one" ] || [ -z "$four" ]; then
+    echo "bench: could not parse BenchmarkEngineSessions output" >&2
+    exit 1
+  fi
+  # The virtual-time comparison: deterministic, matches the tenancy golden.
+  exp_out=$(go run ./cmd/avbench -exp tenancy -frames 45 -sessions 4)
+  echo "$exp_out"
+  # The 4-session row:
+  #   sessions  shared wall  serial wall  shared MB/s  serial MB/s  speedup
+  #   shared seeks  serial seeks  saved  misses  max batch
+  read -r sh_mbs se_mbs speedup sh_seeks se_seeks saved <<<"$(echo "$exp_out" | awk '/^4  /{print $4, $5, $6, $7, $8, $9}')"
+  if [ -z "$sh_mbs" ] || [ -z "$se_mbs" ]; then
+    echo "bench: could not parse tenancy experiment output" >&2
+    exit 1
+  fi
+  awk -v one="$one" -v four="$four" \
+      -v shmbs="$sh_mbs" -v sembs="$se_mbs" -v speedup="$speedup" \
+      -v shseeks="$sh_seeks" -v seseeks="$se_seeks" -v saved="$saved" \
+      -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkEngineSessions\",\n"
+    printf "  \"workload\": {\"sessions\": 4, \"frames\": 45, \"stripe_width\": 4, \"shared_clip\": true},\n"
+    printf "  \"host_ns_per_op\": {\"sessions_1\": %d, \"sessions_4\": %d},\n", one, four
+    printf "  \"virtual\": {\n"
+    printf "    \"experiment\": \"avbench -exp tenancy -frames 45 -sessions 4\",\n"
+    printf "    \"shared_mb_per_s\": %s,\n", shmbs
+    printf "    \"serial_mb_per_s\": %s,\n", sembs
+    printf "    \"speedup\": \"%s\",\n", speedup
+    printf "    \"seeks_charged\": {\"shared\": %s, \"serial\": %s},\n", shseeks, seseeks
+    printf "    \"seeks_saved\": {\"shared\": %s}\n", saved
+    printf "  },\n"
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
 *)
-  echo "bench: unknown tag \"$tag\" (known: pr3, pr4)" >&2
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5)" >&2
   exit 2
   ;;
 esac
