@@ -20,6 +20,9 @@
 //	avbench -exp tenancy -sessions 4
 //	                         # multi-session engine: N sessions sharing
 //	                         # one clip and one clock vs back-to-back
+//	avbench -exp overload -sessions 4
+//	                         # engine overload control: priority-ordered
+//	                         # degrade sweeps and load shedding vs thrash
 package main
 
 import (
@@ -158,6 +161,9 @@ func runners(metrics, trace bool, workers, width, sessions int) []runner {
 		{"tenancy", "multi-session engine: shared clock + merged rounds vs back-to-back", func(frames int) (fmt.Stringer, error) {
 			return experiment.Tenancy(frames, sessions)
 		}},
+		{"overload", "engine overload control: degrade sweeps + load shedding vs thrash", func(frames int) (fmt.Stringer, error) {
+			return experiment.Overload(frames, sessions)
+		}},
 	}
 }
 
@@ -169,7 +175,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the span tree after the obs experiment")
 	workers := flag.Int("workers", 0, "top worker count for the scale experiment (0 = GOMAXPROCS)")
 	width := flag.Int("width", 4, "stripe width for the stripe experiment")
-	sessions := flag.Int("sessions", 4, "top session count for the tenancy experiment")
+	sessions := flag.Int("sessions", 4, "session count for the tenancy and overload experiments")
 	flag.Parse()
 
 	rs := runners(*metrics, *trace, *workers, *width, *sessions)

@@ -91,10 +91,15 @@ func execute(db *core.Database, line string) error {
 		if len(list) == 0 {
 			fmt.Println("  no active playbacks")
 		} else {
-			fmt.Printf("  %-16s %-12s %-8s %6s  %-12s %s\n", "session", "graph", "rate", "ticks", "next due", "state")
+			fmt.Printf("  %-16s %-12s %-8s %6s  %-12s %-10s %-8s %s\n",
+				"session", "graph", "rate", "ticks", "next due", "state", "priority", "quality")
 			for _, es := range list {
-				fmt.Printf("  %-16s %-12s %-8v %6d  %-12v %s\n",
-					es.Session, es.Graph, es.Rate, es.Ticks, es.Due, es.State)
+				quality := "full"
+				if es.Degraded {
+					quality = "degraded"
+				}
+				fmt.Printf("  %-16s %-12s %-8v %6d  %-12v %-10s %-8v %s\n",
+					es.Session, es.Graph, es.Rate, es.Ticks, es.Due, es.State, es.Priority, quality)
 			}
 		}
 		st := eng.Stats()
@@ -103,6 +108,10 @@ func execute(db *core.Database, line string) error {
 			paused = ", paused"
 		}
 		fmt.Printf("engine: %d active, %d steps, %d finished%s\n", st.Active, st.Steps, st.Finished, paused)
+		if st.OverloadOn {
+			fmt.Printf("overload control: pressure=%v, %d transitions, %d shed, %d degraded (%d now), %d restored\n",
+				st.Pressure, st.Transitions, st.Rejected, st.Degraded, st.DegradedNow, st.Restored)
+		}
 	case line == "classes":
 		for _, n := range db.Schema().Classes() {
 			fmt.Println(" ", n)

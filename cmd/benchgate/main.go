@@ -1,0 +1,122 @@
+// Command benchgate compares two BENCH_*.json files and fails when any
+// host-time metric regressed beyond a tolerance — the trajectory gate
+// scripts/bench.sh runs in CI against the last committed baseline.
+//
+// Usage:
+//
+//	benchgate -old BENCH_pr5.json -new /tmp/BENCH_pr5.json [-ratio 1.10]
+//
+// Every numeric field whose JSON path contains "ns_per_op" is treated
+// as a host-time metric (lower is better).  Virtual-time fields are
+// ignored: those are deterministic and pinned by the golden files, so
+// drift there is a test failure, not a bench regression.  Metrics
+// present in only one file are reported but never fail the gate, so
+// adding a new benchmark arm does not break the comparison against an
+// older baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH json (committed)")
+	newPath := flag.String("new", "", "freshly measured BENCH json")
+	ratio := flag.Float64("ratio", 1.10, "failure threshold: new > old*ratio regresses")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -old <baseline.json> -new <fresh.json> [-ratio 1.10]")
+		os.Exit(2)
+	}
+
+	oldM, err := loadMetrics(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newM, err := loadMetrics(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(oldM) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no ns_per_op metrics in baseline %s\n", *oldPath)
+		os.Exit(2)
+	}
+
+	paths := make([]string, 0, len(oldM))
+	for p := range oldM {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	failed := false
+	fmt.Printf("%-55s %14s %14s %8s\n", "metric", "old ns/op", "new ns/op", "ratio")
+	for _, p := range paths {
+		old := oldM[p]
+		nv, ok := newM[p]
+		if !ok {
+			fmt.Printf("%-55s %14.0f %14s %8s\n", p, old, "missing", "-")
+			continue
+		}
+		r := 0.0
+		if old > 0 {
+			r = nv / old
+		}
+		mark := ""
+		if old > 0 && nv > old**ratio {
+			mark = "  REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %8.3f%s\n", p, old, nv, r, mark)
+	}
+	for p, nv := range newM {
+		if _, ok := oldM[p]; !ok {
+			fmt.Printf("%-55s %14s %14.0f %8s\n", p, "(new)", nv, "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: host time regressed more than %.0f%% vs %s\n",
+			(*ratio-1)*100, *oldPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: within %.0f%% of %s\n", (*ratio-1)*100, *oldPath)
+}
+
+// loadMetrics flattens a BENCH json into path -> value for every
+// numeric field on a path mentioning ns_per_op.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case float64:
+		if strings.Contains(prefix, "ns_per_op") {
+			out[prefix] = x
+		}
+	}
+}

@@ -61,7 +61,7 @@ func NewVideoReader(name string, loc activity.Location, typ *media.Type) (*Video
 	r := &VideoReader{Base: activity.NewBase(name, "VideoReader", loc)}
 	r.AddPort("out", activity.Out, typ)
 	r.DeclareEvents(activity.EventEachFrame, activity.EventLastFrame,
-		activity.EventFault, activity.EventDegraded)
+		activity.EventFault, activity.EventDegraded, activity.EventRestored)
 	return r, nil
 }
 
@@ -107,6 +107,12 @@ func (r *VideoReader) Degrade(v media.Value, port string) error {
 		if r.pos > newN {
 			r.pos = newN
 		}
+	}
+	if r.stream != nil {
+		// The attached stream keeps serving the placed segment; a
+		// smaller representation means scheduled reads can skip the
+		// bytes the degraded quality ignores.
+		r.stream.SetPayloadBytes(v.Size())
 	}
 	return nil
 }
@@ -444,7 +450,7 @@ func NewVideoWindow(name string, loc activity.Location, q media.VideoQuality, to
 	}
 	w.AddPort("in", activity.In, media.TypeRawVideo30)
 	w.DeclareEvents(activity.EventFault, activity.EventStalled,
-		activity.EventRecovered, activity.EventDegraded)
+		activity.EventRecovered, activity.EventDegraded, activity.EventRestored)
 	return w
 }
 

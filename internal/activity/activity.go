@@ -145,6 +145,9 @@ const (
 	// EventDegraded reports a quality renegotiation: the stream now
 	// carries a cheaper representation of the same value.
 	EventDegraded Event = "DEGRADED"
+	// EventRestored reports the reverse renegotiation: pressure cleared
+	// and the stream carries its original representation again.
+	EventRestored Event = "RESTORED"
 )
 
 // EventInfo accompanies an event delivery.

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"avdb/internal/avtime"
 	"avdb/internal/device"
 	"avdb/internal/media"
 	"avdb/internal/netsim"
@@ -39,7 +40,29 @@ var (
 	ErrNoClass = fmt.Errorf("core: no such class")
 	// ErrSessionClosed is wrapped by operations on a closed session.
 	ErrSessionClosed = fmt.Errorf("core: session closed")
+	// ErrOverloaded is wrapped by Session.Start while the engine's
+	// overload detector reads Overloaded: admitting another stream into
+	// a thrashing schedule would make every session miss.  The concrete
+	// error is an *OverloadError carrying a virtual-time retry hint.
+	ErrOverloaded = fmt.Errorf("core: engine overloaded")
 )
+
+// OverloadError is the shed response to Session.Start under overload.
+// RetryAfter is the virtual time at which the engine suggests retrying —
+// the paper's "if insufficient resources were available this statement
+// would fail" (§3.3), failing fast with a schedule hint instead of
+// thrashing the sessions already admitted.
+type OverloadError struct {
+	RetryAfter avtime.WorldTime
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: engine overloaded, retry at %v", e.RetryAfter)
+}
+
+// Unwrap ties the concrete error to the ErrOverloaded sentinel.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // Config parameterizes a database instance.
 type Config struct {
@@ -64,6 +87,12 @@ type Config struct {
 	// changes nothing.  Sessions may override per stream with
 	// Session.SetStriping.
 	Striping storage.StripePolicy
+	// Priority is the default service class for sessions this database
+	// opens; individual sessions may override with Session.SetPriority.
+	// The zero value is sched.PriorityNormal.  Priority orders the
+	// engine's overload response: under pressure, lower-priority
+	// sessions are degraded first and restored last.
+	Priority sched.Priority
 }
 
 // Database is one AV database instance.
@@ -84,7 +113,8 @@ type Database struct {
 	links     *linkStore
 	runEngine *Engine // the one run loop advancing the shared clock
 
-	workers int // executor lanes for sessions; 0 = GOMAXPROCS
+	workers  int            // executor lanes for sessions; 0 = GOMAXPROCS
+	priority sched.Priority // default service class for new sessions
 
 	mu          sync.Mutex
 	nextSession int
@@ -122,6 +152,7 @@ func Open(cfg Config) (*Database, error) {
 		links:     newLinkStore(),
 		segments:  make(map[string]storage.SegID),
 		workers:   cfg.Workers,
+		priority:  cfg.Priority,
 	}
 	db.mediaSt.SetCachePolicy(cfg.Cache)
 	db.mediaSt.SetStriping(cfg.Striping)

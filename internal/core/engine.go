@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"runtime/pprof"
+	"sort"
 	"sync"
 
 	"avdb/internal/activity"
 	"avdb/internal/avtime"
+	"avdb/internal/obs"
 	"avdb/internal/sched"
+	"avdb/internal/storage"
 )
 
 // Engine is the database's multi-session run loop: the one place the
@@ -37,6 +40,14 @@ import (
 // exited when the run set drains; the step counter persists across
 // restarts so storage round numbers never rewind below the IOSched
 // flush watermark.
+//
+// With overload control enabled (EnableOverloadControl), the engine
+// additionally closes the loop §3.3 opens at admission time: a
+// per-step pressure detector watches deadline misses, SCAN-EDF round
+// overruns and stall episodes, and the engine responds by degrading
+// low-priority sessions first (their armed EnableDegradation paths),
+// restoring them when pressure clears, and shedding new Session.Start
+// calls with ErrOverloaded while the schedule is infeasible.
 type Engine struct {
 	db *Database
 
@@ -49,16 +60,27 @@ type Engine struct {
 	stepping bool // a step is executing outside the lock
 	step     int64
 	finished int64 // runs retired since open
+
+	// overload control; all nil/zero until EnableOverloadControl
+	detector      *sched.OverloadDetector
+	lastIO        storage.IOStats // stats at the previous step's sample
+	degradedOrder []*Session      // sweep victims, oldest first; restores pop the tail
+	sweptWindow   int64           // detector window of the last sweep; the next window settles
+	shedRejected  int64           // Start calls rejected with ErrOverloaded
+	shedDegraded  int64           // sweep degradations performed
+	shedRestored  int64           // sweep restores performed
 }
 
 // engineEntry is one admitted playback.
 type engineEntry struct {
-	id       sched.RunID
-	session  string
-	graph    string
-	run      *activity.GraphRun
-	playback *Playback
-	ticks    int
+	id         sched.RunID
+	sess       *Session
+	session    string
+	graph      string
+	run        *activity.GraphRun
+	playback   *Playback
+	ticks      int
+	lastStalls int64 // stall episodes at the previous sample
 }
 
 func newEngine(db *Database) *Engine {
@@ -67,15 +89,65 @@ func newEngine(db *Database) *Engine {
 	return e
 }
 
+// EnableOverloadControl arms the engine's pressure detector and
+// overload response with the given policy (zero fields defaulted).
+// From then on every step feeds the detector, window boundaries run
+// the degradation/restore sweeps, and an Overloaded level sheds new
+// Session.Start calls.  Returns the detector for inspection.
+func (e *Engine) EnableOverloadControl(p sched.OverloadPolicy) *sched.OverloadDetector {
+	det := sched.NewOverloadDetector(p)
+	io := e.db.mediaSt.IOStats()
+	e.mu.Lock()
+	e.detector = det
+	e.lastIO = io
+	e.mu.Unlock()
+	if sink := e.db.sink(); sink != nil {
+		sink.SetGauge("engine.pressure.level", int64(sched.PressureNormal))
+	}
+	return det
+}
+
+// Pressure reports the current pressure level; Normal when overload
+// control is off.
+func (e *Engine) Pressure() sched.PressureLevel {
+	e.mu.Lock()
+	det := e.detector
+	e.mu.Unlock()
+	if det == nil {
+		return sched.PressureNormal
+	}
+	return det.Level()
+}
+
+// admitCheck is the shed gate Session.Start passes through: while the
+// detector reads Overloaded, new admissions are rejected with an
+// *OverloadError carrying a virtual-time retry hint.
+func (e *Engine) admitCheck() error {
+	e.mu.Lock()
+	det := e.detector
+	e.mu.Unlock()
+	if det == nil || det.Level() != sched.PressureOverloaded {
+		return nil
+	}
+	e.mu.Lock()
+	e.shedRejected++
+	e.mu.Unlock()
+	if sink := e.db.sink(); sink != nil {
+		sink.Count("engine.shed.rejected", 1)
+	}
+	return &OverloadError{RetryAfter: e.db.clock.Now() + det.Policy().RetryAfter}
+}
+
 // admit enters a begun run into the run set and wakes (or starts) the
 // loop.  Called by Session.StartAt with the graph already started and
 // the playback handle registered on the session.
-func (e *Engine) admit(sessionID string, run *activity.GraphRun, p *Playback) {
+func (e *Engine) admit(s *Session, run *activity.GraphRun, p *Playback) {
 	e.mu.Lock()
 	id := e.set.Admit(run.NextDue())
 	e.entries[id] = &engineEntry{
 		id:       id,
-		session:  sessionID,
+		sess:     s,
+		session:  s.ID(),
 		graph:    run.Graph().Name(),
 		run:      run,
 		playback: p,
@@ -137,6 +209,7 @@ func (e *Engine) loop() {
 		for _, id := range ids {
 			batch = append(batch, e.entries[id])
 		}
+		det := e.detector
 		e.stepping = true
 		e.mu.Unlock()
 
@@ -156,6 +229,7 @@ func (e *Engine) loop() {
 		// with this step's service round so the store batches their chunk
 		// requests into the same per-disk SCAN-EDF rounds.
 		var retired []*engineEntry
+		var stallDelta int64
 		for _, en := range batch {
 			en.run.SetRound(step)
 			var done bool
@@ -164,6 +238,11 @@ func (e *Engine) loop() {
 				done, _ = en.run.Tick()
 			})
 			en.ticks = en.run.Ticks()
+			if det != nil {
+				eps := en.sess.stallEpisodes()
+				stallDelta += eps - en.lastStalls
+				en.lastStalls = eps
+			}
 			if done || en.run.Err() != nil {
 				retired = append(retired, en)
 			}
@@ -214,6 +293,15 @@ func (e *Engine) loop() {
 			}
 		}
 
+		// Phase 4 — overload control: feed the detector this step's load
+		// deltas and, on window boundaries, run the degradation or
+		// restore sweep.  Runs outside the engine lock so the sweep may
+		// take session locks (the lock order everywhere is session, then
+		// engine).
+		if det != nil {
+			e.overloadStep(det, sink, stallDelta)
+		}
+
 		e.mu.Lock()
 		e.stepping = false
 		e.cond.Broadcast()
@@ -221,38 +309,197 @@ func (e *Engine) loop() {
 	}
 }
 
+// overloadStep samples the per-step load deltas, feeds the detector,
+// publishes transitions, and runs the window sweep.
+func (e *Engine) overloadStep(det *sched.OverloadDetector, sink obs.Sink, stallDelta int64) {
+	io := e.db.mediaSt.IOStats()
+	e.mu.Lock()
+	served := (io.Scheduled + io.Demand) - (e.lastIO.Scheduled + e.lastIO.Demand)
+	missed := io.DeadlineMisses - e.lastIO.DeadlineMisses
+	overruns := io.RoundsOverrun - e.lastIO.RoundsOverrun
+	e.lastIO = io
+	e.mu.Unlock()
+
+	level, evaluated, changed := det.ObserveStep(served, missed, overruns, stallDelta)
+	if changed && sink != nil {
+		sink.SetGauge("engine.pressure.level", int64(level))
+		sink.Count("engine.pressure.transitions", 1)
+		if level == sched.PressureOverloaded {
+			sink.Count("engine.pressure.overload", 1)
+		}
+	}
+	if !evaluated {
+		return
+	}
+	now := e.db.clock.Now()
+	e.mu.Lock()
+	settling := e.sweptWindow > 0 && det.Windows() <= e.sweptWindow+1
+	e.mu.Unlock()
+	switch {
+	case level >= sched.PressurePressured && det.WindowDirty():
+		// Sweep new victims only when the window that just closed was
+		// itself dirty: while an elevated level decays through clean
+		// windows, the already-shed load is sufficient.  And give each
+		// sweep one full window to take effect before piling on — the
+		// window straddling a sweep still carries pre-sweep misses, and
+		// acting on it would punish higher classes for load the last
+		// victims already gave up.
+		if settling {
+			return
+		}
+		if e.degradeSweep(level, now, sink) > 0 {
+			e.mu.Lock()
+			e.sweptWindow = det.Windows()
+			e.mu.Unlock()
+		}
+	case level == sched.PressureNormal:
+		e.restoreSweep(now, sink)
+	}
+}
+
+// degradeCandidates lists sessions with an armed, unfired degradation
+// path, lowest priority first, admission order within a class.  Session
+// locks are taken only after the engine lock is dropped.
+func (e *Engine) degradeCandidates() []*Session {
+	e.mu.Lock()
+	sessions := make([]*Session, 0, len(e.entries))
+	for _, id := range e.admissionOrderLocked() {
+		if en := e.entries[id]; en.sess != nil {
+			sessions = append(sessions, en.sess)
+		}
+	}
+	e.mu.Unlock()
+	cands := make([]*Session, 0, len(sessions))
+	for _, s := range sessions {
+		if s.CanDegrade() {
+			cands = append(cands, s)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Priority() < cands[j].Priority()
+	})
+	return cands
+}
+
+// degradeSweep sheds load by degrading victims: one session per window
+// under Pressured, the whole lowest-priority class under Overloaded.
+// Higher-priority sessions are never degraded while a lower class
+// still has headroom to give.  Returns how many victims it degraded.
+func (e *Engine) degradeSweep(level sched.PressureLevel, now avtime.WorldTime, sink obs.Sink) int {
+	cands := e.degradeCandidates()
+	if len(cands) == 0 {
+		return 0
+	}
+	n := 1
+	if level == sched.PressureOverloaded {
+		// The whole lowest class present goes at once: overload means the
+		// schedule is infeasible, and one victim per window is too slow.
+		lowest := cands[0].Priority()
+		for n < len(cands) && cands[n].Priority() == lowest {
+			n++
+		}
+	}
+	victims := 0
+	for _, s := range cands[:n] {
+		if err := s.degradeNow(now); err != nil {
+			continue
+		}
+		victims++
+		e.mu.Lock()
+		e.degradedOrder = append(e.degradedOrder, s)
+		e.shedDegraded++
+		e.mu.Unlock()
+		if sink != nil {
+			sink.Count("engine.shed.degraded", 1)
+		}
+	}
+	return victims
+}
+
+// restoreSweep undoes at most one degradation per clear window, most
+// recently degraded first — the mirror image of the degrade order, so
+// the longest-suffering (lowest-priority, earliest-victim) session is
+// restored last, when the most headroom has proven stable.
+func (e *Engine) restoreSweep(now avtime.WorldTime, sink obs.Sink) {
+	for {
+		e.mu.Lock()
+		n := len(e.degradedOrder)
+		var s *Session
+		if n > 0 {
+			s = e.degradedOrder[n-1]
+		}
+		e.mu.Unlock()
+		if s == nil {
+			return
+		}
+		if s.Closed() || !s.Degraded() {
+			// The victim went away (closed, or restored by other means);
+			// drop it and consider the next.
+			e.mu.Lock()
+			e.degradedOrder = e.degradedOrder[:len(e.degradedOrder)-1]
+			e.mu.Unlock()
+			continue
+		}
+		if err := s.restoreNow(now); err != nil {
+			// Headroom is not back (Grow lost the race) or the path is
+			// wedged; leave the victim queued and retry next window.
+			return
+		}
+		e.mu.Lock()
+		e.degradedOrder = e.degradedOrder[:len(e.degradedOrder)-1]
+		e.shedRestored++
+		e.mu.Unlock()
+		if sink != nil {
+			sink.Count("engine.shed.restored", 1)
+		}
+		return
+	}
+}
+
 // EngineSession describes one admitted run for introspection (the
 // avdbsh `sessions` command).
 type EngineSession struct {
-	Session string           // owning session id
-	Graph   string           // graph name
-	Rate    avtime.Rate      // tick rate
-	Ticks   int              // ticks executed so far
-	Due     avtime.WorldTime // when the next tick is due
-	State   string           // "admitted" until the first tick, then "running"
+	Session  string           // owning session id
+	Graph    string           // graph name
+	Rate     avtime.Rate      // tick rate
+	Ticks    int              // ticks executed so far
+	Due      avtime.WorldTime // when the next tick is due
+	State    string           // "admitted" until the first tick, then "running"
+	Priority sched.Priority   // service class for overload sweeps
+	Degraded bool             // running its fallback quality
 }
 
 // Sessions lists the active engine entries in admission order.
 func (e *Engine) Sessions() []EngineSession {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]EngineSession, 0, len(e.entries))
+	entries := make([]*engineEntry, 0, len(e.entries))
 	// Walk the run set rather than the map so the order is admission
 	// order, not map order.
 	for _, id := range e.admissionOrderLocked() {
-		en := e.entries[id]
+		entries = append(entries, e.entries[id])
+	}
+	e.mu.Unlock()
+	// Session locks are taken after the engine lock is dropped; the
+	// lock order everywhere is session, then engine.
+	out := make([]EngineSession, 0, len(entries))
+	for _, en := range entries {
 		state := "running"
 		if en.run.Ticks() == 0 {
 			state = "admitted"
 		}
-		out = append(out, EngineSession{
+		es := EngineSession{
 			Session: en.session,
 			Graph:   en.graph,
 			Rate:    en.run.Rate(),
 			Ticks:   en.run.Ticks(),
 			Due:     en.run.NextDue(),
 			State:   state,
-		})
+		}
+		if en.sess != nil {
+			es.Priority = en.sess.Priority()
+			es.Degraded = en.sess.Degraded()
+		}
+		out = append(out, es)
 	}
 	return out
 }
@@ -279,16 +526,35 @@ type EngineStats struct {
 	Steps    int64 // engine steps executed
 	Finished int64 // runs retired
 	Paused   bool
+
+	// Overload control (zero while disabled).
+	OverloadOn  bool
+	Pressure    sched.PressureLevel
+	Transitions int64 // pressure level changes
+	Rejected    int64 // Start calls shed with ErrOverloaded
+	Degraded    int64 // sweep degradations performed
+	Restored    int64 // sweep restores performed
+	DegradedNow int   // victims currently awaiting restore
 }
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return EngineStats{
+	st := EngineStats{
 		Active:   len(e.entries),
 		Steps:    e.step,
 		Finished: e.finished,
 		Paused:   e.paused,
 	}
+	if e.detector != nil {
+		st.OverloadOn = true
+		st.Pressure = e.detector.Level()
+		st.Transitions = e.detector.Transitions()
+		st.Rejected = e.shedRejected
+		st.Degraded = e.shedDegraded
+		st.Restored = e.shedRestored
+		st.DegradedNow = len(e.degradedOrder)
+	}
+	return st
 }

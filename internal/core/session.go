@@ -35,9 +35,57 @@ type Session struct {
 	devices  []string
 	playback *Playback
 	closed   bool
-	workers  int                   // 0 inherits the database's Workers setting
-	striping *storage.StripePolicy // nil inherits the store's policy
-	span     obs.SpanID            // session span when observability is on
+	workers  int                    // 0 inherits the database's Workers setting
+	striping *storage.StripePolicy  // nil inherits the store's policy
+	span     obs.SpanID             // session span when observability is on
+	priority sched.Priority         // service class for overload sweeps
+	deg      *degradeState          // armed degradation path, nil if none
+	stalls   []*sched.StallDetector // detectors feeding the engine's pressure signal
+}
+
+// SetPriority assigns the session's service class.  Under engine
+// overload control, lower-priority sessions are degraded first and
+// restored last, and priority never changes the schedule while the
+// system is healthy.
+func (s *Session) SetPriority(p sched.Priority) {
+	s.mu.Lock()
+	s.priority = p
+	s.mu.Unlock()
+}
+
+// Priority reports the session's service class.
+func (s *Session) Priority() sched.Priority {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.priority
+}
+
+// WatchStalls registers stall detectors whose episodes feed the
+// engine's pressure detector while this session is scheduled.  A
+// window's EnableStallDetection detector is the usual candidate.
+func (s *Session) WatchStalls(ds ...*sched.StallDetector) {
+	s.mu.Lock()
+	s.stalls = append(s.stalls, ds...)
+	s.mu.Unlock()
+}
+
+// stallEpisodes sums episodes across the watched detectors.
+func (s *Session) stallEpisodes() int64 {
+	s.mu.Lock()
+	ds := s.stalls
+	s.mu.Unlock()
+	var n int64
+	for _, d := range ds {
+		n += int64(d.Episodes())
+	}
+	return n
+}
+
+// Closed reports whether the session has been closed.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // SetWorkers overrides the database's executor lane bound for this
@@ -101,7 +149,8 @@ func (db *Database) Connect(client, linkID string) (*Session, error) {
 	db.mu.Unlock()
 	s := &Session{
 		db: db, id: id, client: client, link: link,
-		graph: activity.NewGraph(id),
+		graph:    activity.NewGraph(id),
+		priority: db.priority,
 	}
 	if sink := db.sink(); sink != nil {
 		s.span = sink.BeginSpan(obs.NoSpan, obs.KindSession, id, db.clock.Now())
@@ -331,6 +380,11 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 			return nil, fmt.Errorf("core: session %s already has a running stream", s.id)
 		}
 	}
+	// Load shedding: an overloaded engine rejects new admissions with a
+	// retry hint rather than thrashing the sessions already scheduled.
+	if err := s.db.runEngine.admitCheck(); err != nil {
+		return nil, err
+	}
 	if err := s.graph.Start(); err != nil {
 		return nil, err
 	}
@@ -354,7 +408,7 @@ func (s *Session) StartAt(rate avtime.Rate, maxTicks int) (*Playback, error) {
 	}
 	p := &Playback{graph: s.graph, done: make(chan struct{})}
 	s.playback = p
-	s.db.runEngine.admit(s.id, run, p)
+	s.db.runEngine.admit(s, run, p)
 	return p, nil
 }
 

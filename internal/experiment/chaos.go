@@ -9,8 +9,8 @@ import (
 	"avdb/internal/core"
 	"avdb/internal/fault"
 	"avdb/internal/media"
-	"avdb/internal/schema"
 	"avdb/internal/sched"
+	"avdb/internal/schema"
 )
 
 // Chaos ablation parameters.  The plan injects, over a frames-long
@@ -83,9 +83,9 @@ type ChaosRun struct {
 // ChaosResult is the full ablation: identical fault seeds, recovery off
 // versus on.
 type ChaosResult struct {
-	Frames   int
-	Seed     int64
-	Baseline ChaosRun
+	Frames    int
+	Seed      int64
+	Baseline  ChaosRun
 	Resilient ChaosRun
 }
 

@@ -18,14 +18,15 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden files under te
 func goldenCases(t *testing.T) map[string]func() (fmt.Stringer, error) {
 	t.Helper()
 	return map[string]func() (fmt.Stringer, error){
-		"table1": func() (fmt.Stringer, error) { return Table1() },
-		"fig1":   func() (fmt.Stringer, error) { return Fig1() },
-		"fig2":   func() (fmt.Stringer, error) { return Fig2(60) },
-		"fig3":   func() (fmt.Stringer, error) { return Fig3(60) },
-		"fig4":   func() (fmt.Stringer, error) { return Fig4(30, 320, 240, 10*media.MBPerSecond) },
-		"chaos":  func() (fmt.Stringer, error) { return Chaos(90, 7) },
-		"stripe":  func() (fmt.Stringer, error) { return Stripe(90, 4) },
-		"tenancy": func() (fmt.Stringer, error) { return Tenancy(45, 4) },
+		"table1":   func() (fmt.Stringer, error) { return Table1() },
+		"fig1":     func() (fmt.Stringer, error) { return Fig1() },
+		"fig2":     func() (fmt.Stringer, error) { return Fig2(60) },
+		"fig3":     func() (fmt.Stringer, error) { return Fig3(60) },
+		"fig4":     func() (fmt.Stringer, error) { return Fig4(30, 320, 240, 10*media.MBPerSecond) },
+		"chaos":    func() (fmt.Stringer, error) { return Chaos(90, 7) },
+		"stripe":   func() (fmt.Stringer, error) { return Stripe(90, 4) },
+		"tenancy":  func() (fmt.Stringer, error) { return Tenancy(45, 4) },
+		"overload": func() (fmt.Stringer, error) { return Overload(120, 4) },
 		"observe": func() (fmt.Stringer, error) {
 			res, err := Observe(60, 7)
 			if err != nil {

@@ -1,0 +1,394 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"avdb/internal/activities"
+	"avdb/internal/activity"
+	"avdb/internal/avtime"
+	"avdb/internal/core"
+	"avdb/internal/device"
+	"avdb/internal/media"
+	"avdb/internal/netsim"
+	"avdb/internal/sched"
+	"avdb/internal/schema"
+	"avdb/internal/storage"
+)
+
+// The overload experiment: n sessions — half high priority playing half
+// the clip, half low priority playing all of it — share two disks sized
+// so the full-quality load is infeasible: each disk's SCAN-EDF round
+// busy time exceeds the frame period, so every round overruns and
+// deadlines miss.  A late joiner on its own (idle) third disk tries to
+// start mid-run and again near the end.
+//
+// With overload control on, the engine's detector sees the misses and
+// overruns, escalates to Overloaded, degrades the low-priority sessions
+// (halved geometry = a quarter of the bytes) until the rounds fit,
+// sheds the late joiner's first Start with ErrOverloaded, and restores
+// quality — and admits the retry — once the high-priority streams
+// finish and pressure clears.  With it off the same load just thrashes:
+// every round overruns for the whole run and the late joiner is
+// admitted straight into the storm.
+const (
+	overloadSeek      = avtime.Millisecond      // per-round positioning cost
+	overloadTolerance = 40 * avtime.Millisecond // presentation-deadline slack
+	overloadLatency   = avtime.Millisecond      // lan0 latency
+	overloadSeed      = 7
+	overloadLateTry   = 12 // frame at which the late joiner first tries
+)
+
+// overloadDiskBW sizes the two loaded disks so one full-quality frame
+// read costs 20 ms of transfer: two streams per disk plus two seeks is
+// a 42 ms round against a 33.3 ms period (infeasible), while one full
+// and one degraded stream cost 27 ms (feasible again).
+func overloadDiskBW() media.DataRate {
+	frameBytes := int64(clipW * clipH * clipDepth / 8)
+	return media.DataRate(frameBytes * 50)
+}
+
+// OverloadSession is one admitted stream's outcome.
+type OverloadSession struct {
+	Client   string
+	Priority sched.Priority
+	Disk     string
+	Frames   int
+	Shown    int
+	Degraded int // EventDegraded edges seen at the window
+	Restored int // EventRestored edges seen at the window
+	Misses   int // presentation misses + undelivered frames
+	Err      string
+}
+
+// OverloadArm is one run of the workload, control on or off.
+type OverloadArm struct {
+	Control  bool
+	Sessions []OverloadSession
+
+	// Late joiner outcomes.
+	LateShedAt    int    // frame of the rejected Start (0 = never shed)
+	LateRetryHint string // virtual-time hint carried by ErrOverloaded
+	LateAdmitted  int    // frame of the successful Start (0 = never ran)
+	LateShown     int
+	LateFrames    int
+
+	// Engine and storage accounting.
+	Pressure    string // final pressure level
+	Transitions int64
+	Rejected    int64
+	Swept       int64 // sweep degradations
+	Restores    int64 // sweep restores
+	Misses      int64 // storage deadline misses
+	Served      int64 // storage requests served
+	Overruns    int64 // SCAN-EDF rounds that overran the period
+}
+
+// MissRate is storage deadline misses over requests served.
+func (a *OverloadArm) MissRate() float64 {
+	if a.Served == 0 {
+		return 0
+	}
+	return float64(a.Misses) / float64(a.Served)
+}
+
+// OverloadResult is the ablation: identical load, control on vs off.
+type OverloadResult struct {
+	Frames   int
+	SessionN int
+	DiskBW   media.DataRate
+	On       OverloadArm
+	Off      OverloadArm
+}
+
+// Overload runs the overload-control ablation over n sessions (n even,
+// >= 2) of a frames-long clip.
+func Overload(frames, n int) (*OverloadResult, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("experiment: overload needs an even session count >= 2, got %d", n)
+	}
+	if frames < 8*overloadLateTry {
+		return nil, fmt.Errorf("experiment: overload needs frames >= %d, got %d", 8*overloadLateTry, frames)
+	}
+	on, err := overloadArm(frames, n, true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := overloadArm(frames, n, false)
+	if err != nil {
+		return nil, err
+	}
+	return &OverloadResult{Frames: frames, SessionN: n, DiskBW: overloadDiskBW(), On: *on, Off: *off}, nil
+}
+
+// overloadStream is one wired session awaiting Start.
+type overloadStream struct {
+	out   OverloadSession
+	sess  *core.Session
+	vr    *activities.VideoReader
+	win   *activities.VideoWindow
+	grant *sched.Grant
+}
+
+func overloadArm(frames, n int, control bool) (*OverloadArm, error) {
+	frameBytes := int64(clipW * clipH * clipDepth / 8)
+	q := stdQuality()
+	rate := q.DataRate()
+	clipBytes := int64(frames) * frameBytes
+	db, err := core.Open(core.Config{
+		Name: "overload",
+		Resources: sched.Resources{
+			Buffers: 8*n + 16,
+			CPU:     100 * media.MBPerSecond,
+			Bus:     100 * media.MBPerSecond,
+		},
+		Striping: storage.StripePolicy{Seeks: true, Rounds: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		d := device.NewDisk(fmt.Sprintf("disk%d", i), 4*clipBytes+frameBytes, overloadDiskBW(), overloadSeek)
+		if err := db.Devices().Register(d); err != nil {
+			return nil, err
+		}
+	}
+	linkBW := media.DataRate(n+2) * rate
+	if err := db.Network().AddLink(netsim.NewLink("lan0", linkBW, overloadLatency, 0, overloadSeed)); err != nil {
+		return nil, err
+	}
+	if _, err := db.DefineClass("Clip", "", []schema.AttrDef{
+		{Name: "title", Kind: schema.KindString},
+		{Name: "video", Kind: schema.KindMedia, MediaKind: media.KindVideo},
+	}); err != nil {
+		return nil, err
+	}
+
+	var det *sched.OverloadDetector
+	if control {
+		det = db.Engine().EnableOverloadControl(sched.OverloadPolicy{})
+	}
+	_ = det
+
+	// build wires one degradable stream over its clip on the given disk.
+	// placeRate is the disk-bandwidth reservation: the loaded disks are
+	// booked optimistically (below the streams' true appetite) — exactly
+	// the §3.3 admission the engine's runtime control has to clean up
+	// after.
+	build := func(client, disk string, clipFrames int, prio sched.Priority, placeRate media.DataRate) (*overloadStream, error) {
+		obj, err := db.NewObject("Clip")
+		if err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(obj.OID(), "title", schema.String(client)); err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(obj.OID(), "video", schema.Media(stdClip(clipFrames, overloadSeed))); err != nil {
+			return nil, err
+		}
+		if _, err := db.PlaceMedia(obj.OID(), "video", disk, placeRate); err != nil {
+			return nil, err
+		}
+		sess, err := db.Connect(client, "lan0")
+		if err != nil {
+			return nil, err
+		}
+		sess.SetPriority(prio)
+		vr, err := activities.NewVideoReader("reader", activity.AtDatabase, media.TypeRawVideo30)
+		if err != nil {
+			return nil, err
+		}
+		win := activities.NewVideoWindow("window", activity.AtApplication, media.VideoQuality{}, overloadTolerance)
+		for _, a := range []activity.Activity{vr, win} {
+			if err := sess.Install(a, sched.Resources{}); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := sess.Connect(vr, "out", win, "in", rate)
+		if err != nil {
+			return nil, err
+		}
+		if err := sess.BindValue(obj.OID(), "video", vr, "out", placeRate); err != nil {
+			return nil, err
+		}
+		grant, err := db.Admission().Reserve(core.ResourcesForVideo(q))
+		if err != nil {
+			return nil, err
+		}
+		// Every session arms the same degradation path.  No stall detector
+		// is wired, so nothing self-degrades: the engine's sweep alone
+		// decides who gives up quality, lowest class first — the ablation's
+		// whole contrast.
+		fallback := media.VideoQuality{Width: clipW / 2, Height: clipH / 2, Depth: clipDepth, FPS: clipFPS}
+		if err := sess.EnableDegradation(core.DegradeSpec{
+			Source: vr, Port: "out", Sink: win, Quality: fallback, Grant: grant, Conn: conn.Network(),
+		}); err != nil {
+			return nil, err
+		}
+		st := &overloadStream{
+			out:  OverloadSession{Client: client, Priority: prio, Disk: disk, Frames: clipFrames},
+			sess: sess, vr: vr, win: win, grant: grant,
+		}
+		if err := win.Catch(activity.EventDegraded, func(activity.EventInfo) { st.out.Degraded++ }); err != nil {
+			return nil, err
+		}
+		if err := win.Catch(activity.EventRestored, func(activity.EventInfo) { st.out.Restored++ }); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+
+	// Half the sessions are high priority and play half the clip; the
+	// other half are low priority and play it all.  Alternating disks
+	// puts one of each class on each loaded spindle.
+	streams := make([]*overloadStream, n)
+	for i := 0; i < n; i++ {
+		prio, clipFrames := sched.PriorityHigh, frames/2
+		if i >= n/2 {
+			prio, clipFrames = sched.PriorityLow, frames
+		}
+		st, err := build(fmt.Sprintf("s%d-%s", i, prio), fmt.Sprintf("disk%d", i%2), clipFrames, prio, overloadDiskBW()/media.DataRate(n))
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = st
+	}
+
+	arm := &OverloadArm{Control: control, LateFrames: frames / 4}
+	late, err := build("late-joiner", "disk2", arm.LateFrames, sched.PriorityHigh, rate)
+	if err != nil {
+		return nil, err
+	}
+
+	// The late joiner starts from inside the run: an EachFrame handler on
+	// the longest-lived stream fires Session.Start at frame overloadLateTry
+	// (deep in the overload) and again at 3/4 of the run (after the
+	// high-priority streams finished and pressure cleared).  Handlers run
+	// on the engine goroutine, where Start is safe and the shed gate's
+	// answer is deterministic.
+	var latePB *core.Playback
+	lastLow := streams[n-1]
+	lateRetry := frames * 3 / 4
+	frameCount := 0
+	if err := lastLow.vr.Catch(activity.EventEachFrame, func(activity.EventInfo) {
+		frameCount++
+		if (frameCount != overloadLateTry && frameCount != lateRetry) || latePB != nil {
+			return
+		}
+		pb, err := late.sess.Start()
+		if err != nil {
+			var oe *core.OverloadError
+			if errors.As(err, &oe) {
+				arm.LateShedAt = frameCount
+				arm.LateRetryHint = oe.RetryAfter.String()
+			} else {
+				late.out.Err = err.Error()
+			}
+			return
+		}
+		latePB = pb
+		arm.LateAdmitted = frameCount
+	}); err != nil {
+		return nil, err
+	}
+
+	db.Engine().Pause()
+	pbs := make([]*core.Playback, n)
+	for i, st := range streams {
+		pb, err := st.sess.Start()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: overload start %s: %w", st.out.Client, err)
+		}
+		pbs[i] = pb
+	}
+	db.Engine().Resume()
+
+	for i, pb := range pbs {
+		if _, err := pb.Wait(); err != nil {
+			streams[i].out.Err = err.Error()
+		}
+	}
+	if latePB != nil {
+		if _, err := latePB.Wait(); err != nil {
+			late.out.Err = err.Error()
+		}
+	}
+
+	for _, st := range append(append([]*overloadStream{}, streams...), late) {
+		st.out.Shown = st.win.FramesShown()
+		st.out.Misses = st.win.Monitor().Misses() + (st.out.Frames - st.out.Shown)
+		if latePB == nil && st == late {
+			st.out.Misses = 0 // never admitted: nothing was due
+		}
+	}
+	arm.LateShown = late.out.Shown
+	for _, st := range streams {
+		arm.Sessions = append(arm.Sessions, st.out)
+	}
+
+	est := db.Engine().Stats()
+	arm.Pressure = est.Pressure.String()
+	arm.Transitions = est.Transitions
+	arm.Rejected = est.Rejected
+	arm.Swept = est.Degraded
+	arm.Restores = est.Restored
+	io := db.MediaIOStats()
+	arm.Misses = io.DeadlineMisses
+	arm.Served = io.Scheduled + io.Demand
+	arm.Overruns = io.RoundsOverrun
+
+	for _, st := range append(append([]*overloadStream{}, streams...), late) {
+		st.grant.Release()
+		if err := st.sess.Close(); err != nil {
+			return nil, fmt.Errorf("experiment: overload close %s: %w", st.out.Client, err)
+		}
+	}
+	return arm, nil
+}
+
+// String renders the ablation.
+func (r *OverloadResult) String() string {
+	s := fmt.Sprintf("Overload: %d sessions + 1 late joiner over 2 loaded disks (%d frames, %d B/s per disk)\n",
+		r.SessionN, r.Frames, int64(r.DiskBW))
+	s += "half high priority (half-length clips), half low; every round overruns at full quality\n"
+	s += "control on = detector + degrade sweeps + shed; control off = admit everything and thrash\n"
+	for _, arm := range []*OverloadArm{&r.On, &r.Off} {
+		mode := "off"
+		if arm.Control {
+			mode = "on"
+		}
+		s += fmt.Sprintf("\narm: control %s\n", mode)
+		header := []string{"session", "priority", "disk", "frames", "shown", "degraded", "restored", "misses", "error"}
+		rows := make([][]string, 0, len(arm.Sessions))
+		for _, os := range arm.Sessions {
+			errCell := "-"
+			if os.Err != "" {
+				errCell = os.Err
+			}
+			rows = append(rows, []string{
+				os.Client, os.Priority.String(), os.Disk,
+				fmt.Sprint(os.Frames), fmt.Sprint(os.Shown),
+				fmt.Sprint(os.Degraded), fmt.Sprint(os.Restored),
+				fmt.Sprint(os.Misses), errCell,
+			})
+		}
+		s += table(header, rows)
+		switch {
+		case arm.LateShedAt > 0 && arm.LateAdmitted > 0:
+			s += fmt.Sprintf("late joiner: shed at frame %d (retry hint %s), admitted at frame %d, shown %d/%d\n",
+				arm.LateShedAt, arm.LateRetryHint, arm.LateAdmitted, arm.LateShown, arm.LateFrames)
+		case arm.LateAdmitted > 0:
+			s += fmt.Sprintf("late joiner: admitted at frame %d (never shed), shown %d/%d\n",
+				arm.LateAdmitted, arm.LateShown, arm.LateFrames)
+		default:
+			s += "late joiner: never admitted\n"
+		}
+		if arm.Control {
+			s += fmt.Sprintf("pressure: final=%s transitions=%d rejected=%d degraded=%d restored=%d\n",
+				arm.Pressure, arm.Transitions, arm.Rejected, arm.Swept, arm.Restores)
+		}
+		s += fmt.Sprintf("io: deadline misses=%d/%d served (%.1f%%), rounds overrun=%d\n",
+			arm.Misses, arm.Served, 100*arm.MissRate(), arm.Overruns)
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"testing"
+
+	"avdb/internal/sched"
+)
+
+// TestOverloadContrast locks the experiment's headline claims: with
+// overload control on, misses stay bounded, degradation lands on the
+// low-priority class while the high class is never touched, the late
+// joiner is shed with a retry hint and later admitted; with control
+// off, everything is admitted and the disks thrash for the whole run.
+func TestOverloadContrast(t *testing.T) {
+	res, err := Overload(120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := res.On, res.Off
+
+	// The off arm thrashes: no sweeps, no shedding, a miss rate that
+	// says the admitted schedule is infeasible.
+	if off.Swept != 0 || off.Rejected != 0 || off.LateShedAt != 0 {
+		t.Errorf("off arm took control actions: swept=%d rejected=%d lateShed=%d",
+			off.Swept, off.Rejected, off.LateShedAt)
+	}
+	if off.MissRate() < 0.20 {
+		t.Errorf("off arm miss rate %.3f, want the thrash regime (>= 0.20)", off.MissRate())
+	}
+
+	// The on arm keeps misses bounded — well under half the off arm's.
+	if on.MissRate() >= off.MissRate()/2 {
+		t.Errorf("on arm miss rate %.3f not bounded vs off arm %.3f", on.MissRate(), off.MissRate())
+	}
+	if on.Overruns >= off.Overruns/2 {
+		t.Errorf("on arm overruns %d not bounded vs off arm %d", on.Overruns, off.Overruns)
+	}
+
+	// Victim selection respects the service classes: low-priority
+	// sessions carry every degradation, the high class is never touched.
+	var lowDegraded int
+	for _, s := range on.Sessions {
+		switch s.Priority {
+		case sched.PriorityHigh:
+			if s.Degraded != 0 {
+				t.Errorf("high-priority %s degraded %d times", s.Client, s.Degraded)
+			}
+		case sched.PriorityLow:
+			lowDegraded += s.Degraded
+		}
+	}
+	if lowDegraded == 0 {
+		t.Error("on arm never degraded a low-priority session")
+	}
+	if on.Swept < 2 || on.Restores < 1 {
+		t.Errorf("on arm swept=%d restores=%d, want >=2 sweeps and >=1 restore", on.Swept, on.Restores)
+	}
+
+	// Load shedding: the late joiner is rejected under pressure with a
+	// virtual-time retry hint, then admitted once pressure clears, and
+	// still completes its clip.
+	if on.Rejected < 1 || on.LateShedAt == 0 || on.LateRetryHint == "" {
+		t.Errorf("on arm late joiner not shed: rejected=%d shedAt=%d hint=%q",
+			on.Rejected, on.LateShedAt, on.LateRetryHint)
+	}
+	if on.LateAdmitted == 0 || on.LateShown != on.LateFrames {
+		t.Errorf("on arm late joiner not admitted whole: admitted=%d shown=%d/%d",
+			on.LateAdmitted, on.LateShown, on.LateFrames)
+	}
+
+	// Every resident session still completes in both arms: degradation
+	// sacrifices quality, never frames.
+	for _, arm := range []OverloadArm{on, off} {
+		for _, s := range arm.Sessions {
+			if s.Err != "" || s.Shown != s.Frames {
+				t.Errorf("control=%v %s: shown %d/%d err=%q", arm.Control, s.Client, s.Shown, s.Frames, s.Err)
+			}
+		}
+	}
+}

@@ -18,14 +18,14 @@ func (c *fakeClock) Now() avtime.WorldTime { return c.now }
 func TestPlanValidation(t *testing.T) {
 	p := NewPlan(1)
 	bad := []Fault{
-		{Kind: TransientRead, Probability: 0.5},                                      // no target
-		{Kind: TransientRead, Target: "d", Probability: 0},                           // p out of range
-		{Kind: TransientRead, Target: "d", Probability: 1.5},                         // p out of range
-		{Kind: LinkDegrade, Target: "l", Factor: 0},                                  // factor out of range
-		{Kind: LinkDegrade, Target: "l", Factor: 1.01},                               // factor out of range
-		{Kind: DeviceOutage, Target: "d", Start: -avtime.Second},                     // negative window
-		{Kind: ChunkLoss, Target: "l", Probability: 0.1, Dur: -avtime.Millisecond},   // negative window
-		{Kind: Kind(99), Target: "d"},                                                // unknown kind
+		{Kind: TransientRead, Probability: 0.5},                                    // no target
+		{Kind: TransientRead, Target: "d", Probability: 0},                         // p out of range
+		{Kind: TransientRead, Target: "d", Probability: 1.5},                       // p out of range
+		{Kind: LinkDegrade, Target: "l", Factor: 0},                                // factor out of range
+		{Kind: LinkDegrade, Target: "l", Factor: 1.01},                             // factor out of range
+		{Kind: DeviceOutage, Target: "d", Start: -avtime.Second},                   // negative window
+		{Kind: ChunkLoss, Target: "l", Probability: 0.1, Dur: -avtime.Millisecond}, // negative window
+		{Kind: Kind(99), Target: "d"},                                              // unknown kind
 	}
 	for i, f := range bad {
 		if _, err := p.Add(f); err == nil {
@@ -51,7 +51,7 @@ func TestFaultWindowActivation(t *testing.T) {
 	windowed := Fault{Kind: DeviceOutage, Target: "d", Start: 2 * avtime.Second, Dur: avtime.Second}
 	openEnded := Fault{Kind: DeviceOutage, Target: "d", Start: 2 * avtime.Second}
 	cases := []struct {
-		now            avtime.WorldTime
+		now               avtime.WorldTime
 		wantWin, wantOpen bool
 	}{
 		{0, false, false},

@@ -49,6 +49,19 @@ func (r Resources) String() string {
 // ErrAdmission is wrapped by reservation failures.
 var ErrAdmission = fmt.Errorf("sched: insufficient resources")
 
+// Grant lifecycle sentinels: misuse of a grant is reported with a
+// wrapped sentinel so policy code (the engine's restore sweep, a
+// client's degradation handler) can distinguish "the grant is gone" —
+// not worth retrying — from a transient capacity failure.
+var (
+	// ErrGrantReleased is wrapped by Shrink or Grow on a released grant.
+	ErrGrantReleased = fmt.Errorf("sched: grant released")
+	// ErrGrantGrow is wrapped by a Shrink whose target exceeds the
+	// grant: shrinking is strictly downward, growing goes through Grow
+	// so the delta is re-admitted against the budget.
+	ErrGrantGrow = fmt.Errorf("sched: shrink cannot grow a grant")
+)
+
 // Admission is the database's resource pre-allocation authority.  Clients
 // reserve resources before starting activities; a request that does not
 // fit alongside existing grants fails immediately, which is the paper's
@@ -194,8 +207,9 @@ func (g *Grant) Resources() Resources {
 // resources to the admission budget.  This is the re-reservation a
 // degradation policy performs when a stream renegotiates to a lower
 // quality: the smaller grant always fits, so shrinking cannot fail for
-// capacity reasons.  Growing a grant, or shrinking a released one, is an
-// error.
+// capacity reasons.  Growing a grant (wrapped ErrGrantGrow), or
+// shrinking a released one (wrapped ErrGrantReleased), is an error
+// that leaves the grant untouched.
 func (g *Grant) Shrink(to Resources) error {
 	if !to.nonNegative() {
 		return fmt.Errorf("sched: negative shrink target %v", to)
@@ -203,10 +217,10 @@ func (g *Grant) Shrink(to Resources) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.released {
-		return fmt.Errorf("sched: shrink of released grant")
+		return fmt.Errorf("%w: shrink to %v", ErrGrantReleased, to)
 	}
 	if !to.Fits(g.r) {
-		return fmt.Errorf("sched: shrink target %v exceeds grant %v", to, g.r)
+		return fmt.Errorf("%w: target %v exceeds grant %v", ErrGrantGrow, to, g.r)
 	}
 	freed := g.r.Sub(to)
 	g.r = to
@@ -217,6 +231,57 @@ func (g *Grant) Shrink(to Resources) error {
 		g.a.publishUsedLocked()
 	}
 	g.a.mu.Unlock()
+	return nil
+}
+
+// Grow raises the grant back toward a larger bundle — the restore half
+// of a degradation cycle.  Unlike Shrink, growing competes for the
+// budget again: the delta must fit the controller's free resources or
+// the call fails with a wrapped ErrAdmission and the grant is
+// unchanged, in which case the stream simply stays degraded.  A target
+// the grant already covers is a no-op.  Growing a released grant fails
+// with a wrapped ErrGrantReleased.
+func (g *Grant) Grow(to Resources) error {
+	if !to.nonNegative() {
+		return fmt.Errorf("sched: negative grow target %v", to)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return fmt.Errorf("%w: grow to %v", ErrGrantReleased, to)
+	}
+	if to.Fits(g.r) {
+		return nil
+	}
+	// Clamp componentwise so a mixed target (some components below the
+	// grant) only ever adds, never silently shrinks.
+	target := to
+	if target.Buffers < g.r.Buffers {
+		target.Buffers = g.r.Buffers
+	}
+	if target.CPU < g.r.CPU {
+		target.CPU = g.r.CPU
+	}
+	if target.Bus < g.r.Bus {
+		target.Bus = g.r.Bus
+	}
+	delta := target.Sub(g.r)
+	g.a.mu.Lock()
+	if !g.a.used.Add(delta).Fits(g.a.total) {
+		free := g.a.total.Sub(g.a.used)
+		if g.a.sink != nil {
+			g.a.sink.Count("admission.reject", 1)
+		}
+		g.a.mu.Unlock()
+		return fmt.Errorf("%w: grow needs %v, %v free", ErrAdmission, delta, free)
+	}
+	g.a.used = g.a.used.Add(delta)
+	if g.a.sink != nil {
+		g.a.sink.Count("admission.grow", 1)
+		g.a.publishUsedLocked()
+	}
+	g.a.mu.Unlock()
+	g.r = target
 	return nil
 }
 

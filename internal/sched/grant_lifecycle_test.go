@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"avdb/internal/media"
+)
+
+// grantFixture reserves one grant from a fresh controller.
+func grantFixture(t *testing.T, total, req Resources) (*Admission, *Grant) {
+	t.Helper()
+	a, err := NewAdmission(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Reserve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, g
+}
+
+func TestGrantShrinkAfterReleaseIsSentinel(t *testing.T) {
+	total := Resources{Buffers: 8, CPU: 8 * media.MBPerSecond, Bus: 8 * media.MBPerSecond}
+	req := Resources{Buffers: 4, CPU: 4 * media.MBPerSecond, Bus: 4 * media.MBPerSecond}
+	a, g := grantFixture(t, total, req)
+	g.Release()
+	err := g.Shrink(Resources{Buffers: 1})
+	if !errors.Is(err, ErrGrantReleased) {
+		t.Fatalf("Shrink after Release = %v, want ErrGrantReleased", err)
+	}
+	// The failed shrink must not have disturbed the accounting.
+	if used := a.Used(); !used.IsZero() {
+		t.Fatalf("used = %v after release + failed shrink, want zero", used)
+	}
+}
+
+func TestGrantShrinkThatGrowsIsSentinel(t *testing.T) {
+	total := Resources{Buffers: 8, CPU: 8 * media.MBPerSecond, Bus: 8 * media.MBPerSecond}
+	req := Resources{Buffers: 2, CPU: 2 * media.MBPerSecond, Bus: 2 * media.MBPerSecond}
+	a, g := grantFixture(t, total, req)
+	// Growing even one component through Shrink is rejected whole.
+	err := g.Shrink(Resources{Buffers: 1, CPU: 3 * media.MBPerSecond})
+	if !errors.Is(err, ErrGrantGrow) {
+		t.Fatalf("growing Shrink = %v, want ErrGrantGrow", err)
+	}
+	if got := g.Resources(); got != req {
+		t.Fatalf("grant mutated by rejected shrink: %v, want %v", got, req)
+	}
+	if used := a.Used(); used != req {
+		t.Fatalf("accounting mutated by rejected shrink: used %v, want %v", used, req)
+	}
+}
+
+func TestGrantDoubleReleaseIsNoOp(t *testing.T) {
+	total := Resources{Buffers: 8}
+	a, g := grantFixture(t, total, Resources{Buffers: 3})
+	g.Release()
+	g.Release()
+	if used := a.Used(); !used.IsZero() {
+		t.Fatalf("double release corrupted accounting: used %v", used)
+	}
+	// The freed buffers are reservable exactly once.
+	if _, err := a.Reserve(Resources{Buffers: 8}); err != nil {
+		t.Fatalf("full budget not reservable after releases: %v", err)
+	}
+}
+
+func TestGrantGrowRestoresWithinBudget(t *testing.T) {
+	total := Resources{Buffers: 4, CPU: 4 * media.MBPerSecond, Bus: 4 * media.MBPerSecond}
+	full := Resources{Buffers: 2, CPU: 2 * media.MBPerSecond, Bus: 2 * media.MBPerSecond}
+	half := Resources{Buffers: 1, CPU: media.MBPerSecond, Bus: media.MBPerSecond}
+	a, g := grantFixture(t, total, full)
+	if err := g.Shrink(half); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Grow(full); err != nil {
+		t.Fatalf("Grow back to original failed: %v", err)
+	}
+	if got := g.Resources(); got != full {
+		t.Fatalf("grant = %v after grow, want %v", got, full)
+	}
+	if used := a.Used(); used != full {
+		t.Fatalf("used = %v after grow, want %v", used, full)
+	}
+	// Growing to a target the grant already covers is a no-op.
+	if err := g.Grow(half); err != nil {
+		t.Fatalf("no-op grow failed: %v", err)
+	}
+	if got := g.Resources(); got != full {
+		t.Fatalf("no-op grow shrank the grant to %v", got)
+	}
+}
+
+func TestGrantGrowFailsClosedWhenBudgetTaken(t *testing.T) {
+	total := Resources{Buffers: 4}
+	a, g := grantFixture(t, total, Resources{Buffers: 3})
+	if err := g.Shrink(Resources{Buffers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Another client takes the freed headroom.
+	other, err := a.Reserve(Resources{Buffers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Grow(Resources{Buffers: 3}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("Grow over budget = %v, want ErrAdmission", err)
+	}
+	if got := g.Resources(); got != (Resources{Buffers: 1}) {
+		t.Fatalf("failed grow mutated the grant: %v", got)
+	}
+	other.Release()
+	if err := g.Grow(Resources{Buffers: 3}); err != nil {
+		t.Fatalf("Grow after headroom returned: %v", err)
+	}
+	g.Release()
+	if used := a.Used(); !used.IsZero() {
+		t.Fatalf("used = %v after releases, want zero", used)
+	}
+	if err := g.Grow(Resources{Buffers: 1}); !errors.Is(err, ErrGrantReleased) {
+		t.Fatalf("Grow after Release = %v, want ErrGrantReleased", err)
+	}
+}
+
+// TestGrantLifecycleConcurrentMisuse hammers one grant with racing
+// Shrink/Grow/Release misuse under -race: whatever interleaving occurs,
+// the controller's accounting must balance once everything settles and
+// every error must be one of the lifecycle sentinels.
+func TestGrantLifecycleConcurrentMisuse(t *testing.T) {
+	total := Resources{Buffers: 64, CPU: 64 * media.MBPerSecond, Bus: 64 * media.MBPerSecond}
+	a, err := NewAdmission(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rounds = 200
+	for i := 0; i < 10; i++ {
+		g, err := a.Reserve(Resources{Buffers: 8, CPU: 8 * media.MBPerSecond, Bus: 8 * media.MBPerSecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					switch (w + r) % 4 {
+					case 0:
+						err := g.Shrink(Resources{Buffers: 4, CPU: 4 * media.MBPerSecond, Bus: 4 * media.MBPerSecond})
+						if err != nil && !errors.Is(err, ErrGrantReleased) && !errors.Is(err, ErrGrantGrow) {
+							t.Errorf("shrink error: %v", err)
+						}
+					case 1:
+						err := g.Grow(Resources{Buffers: 8, CPU: 8 * media.MBPerSecond, Bus: 8 * media.MBPerSecond})
+						if err != nil && !errors.Is(err, ErrGrantReleased) && !errors.Is(err, ErrAdmission) {
+							t.Errorf("grow error: %v", err)
+						}
+					case 2:
+						g.Release()
+					case 3:
+						if used := a.Used(); !used.Fits(total) {
+							t.Errorf("over-commit: used %v", used)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		g.Release()
+		if used := a.Used(); !used.IsZero() {
+			t.Fatalf("round %d leaked: used %v", i, used)
+		}
+	}
+}

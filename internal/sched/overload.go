@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"avdb/internal/avtime"
+)
+
+// overload.go implements the engine's pressure detector: the signal an
+// overload-control policy acts on.  §3.3's resource contract ("if
+// insufficient resources were available this statement would fail") is
+// enforced at admission time; the detector closes the loop at run time,
+// when an optimistic admission or a degraded device makes the granted
+// schedule infeasible.  Rather than letting every co-scheduled session
+// thrash, the engine watches three load signals per step — deadline
+// misses at the disks, SCAN-EDF rounds running past their last
+// deadline, and sink-side stall episodes — and classifies the system
+// into one of three pressure levels with hysteresis, so the response
+// (degrade, shed, restore) never flaps on a single noisy window.
+
+// PressureLevel is the detector's classification of engine load.
+type PressureLevel int
+
+const (
+	// PressureNormal: the admitted schedule is feasible; restores may
+	// proceed.
+	PressureNormal PressureLevel = iota
+	// PressurePressured: sustained misses or round overruns; the engine
+	// degrades low-priority sessions one per window.
+	PressurePressured
+	// PressureOverloaded: the miss rate says the schedule is infeasible;
+	// the engine degrades a whole priority class and sheds new starts.
+	PressureOverloaded
+)
+
+// String renders the level for status displays.
+func (l PressureLevel) String() string {
+	switch l {
+	case PressureNormal:
+		return "normal"
+	case PressurePressured:
+		return "pressured"
+	case PressureOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("PressureLevel(%d)", int(l))
+	}
+}
+
+// OverloadPolicy parameterizes the detector.  The zero value of any
+// field selects its default.
+type OverloadPolicy struct {
+	// Window is how many engine steps accumulate before the level is
+	// re-evaluated.  Default 6.
+	Window int
+	// PressureMiss and OverloadMiss are the deadline-miss fractions
+	// (missed / serviced requests over one window) at which the raw
+	// classification becomes Pressured and Overloaded.  Defaults 0.05
+	// and 0.25.
+	PressureMiss float64
+	OverloadMiss float64
+	// ClearWindows is how many consecutive windows must classify below
+	// the current level before the detector steps down one level.
+	// Escalation is immediate; de-escalation is damped.  Default 2.
+	ClearWindows int
+	// RetryAfter is the virtual-time hint attached to shed admissions:
+	// how long a rejected client should wait before retrying.  Default
+	// one second.
+	RetryAfter avtime.WorldTime
+}
+
+// withDefaults fills zero fields.
+func (p OverloadPolicy) withDefaults() OverloadPolicy {
+	if p.Window <= 0 {
+		p.Window = 6
+	}
+	if p.PressureMiss <= 0 {
+		p.PressureMiss = 0.05
+	}
+	if p.OverloadMiss <= 0 {
+		p.OverloadMiss = 0.25
+	}
+	if p.ClearWindows <= 0 {
+		p.ClearWindows = 2
+	}
+	if p.RetryAfter <= 0 {
+		p.RetryAfter = avtime.Second
+	}
+	return p
+}
+
+// OverloadDetector accumulates per-step load signals into fixed-size
+// windows and runs the hysteresis state machine over them.  It is
+// goroutine-safe: the engine feeds it from the run loop while clients
+// query Level from anywhere.
+type OverloadDetector struct {
+	mu     sync.Mutex
+	policy OverloadPolicy
+
+	// current window accumulators
+	steps    int
+	served   int64
+	missed   int64
+	overruns int64
+	stalls   int64
+
+	level       PressureLevel
+	clean       int  // consecutive windows classifying below level
+	dirty       bool // last evaluated window classified >= Pressured on its own
+	windows     int64
+	transitions int64
+}
+
+// NewOverloadDetector returns a detector with the given policy (zero
+// fields defaulted).
+func NewOverloadDetector(p OverloadPolicy) *OverloadDetector {
+	return &OverloadDetector{policy: p.withDefaults()}
+}
+
+// Policy reports the effective (defaulted) policy.
+func (d *OverloadDetector) Policy() OverloadPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.policy
+}
+
+// Level reports the current pressure level.
+func (d *OverloadDetector) Level() PressureLevel {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.level
+}
+
+// Transitions reports how many level changes have occurred.
+func (d *OverloadDetector) Transitions() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transitions
+}
+
+// Windows reports how many windows have been evaluated.
+func (d *OverloadDetector) Windows() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.windows
+}
+
+// WindowDirty reports whether the most recently evaluated window
+// classified Pressured or worse on its own accumulators.  The engine
+// sweeps new victims only on dirty windows: while an elevated level is
+// decaying through clean windows, punishing further sessions would
+// degrade capacity that is no longer needed.
+func (d *OverloadDetector) WindowDirty() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dirty
+}
+
+// ObserveStep feeds one engine step's load deltas: requests the disks
+// serviced, requests that missed their deadline, service rounds that
+// ran past their last deadline, and stall episodes that began.  At each
+// window boundary the level is re-evaluated; evaluated reports that a
+// boundary was crossed (the engine runs its sweep then) and changed
+// that the level moved.
+func (d *OverloadDetector) ObserveStep(served, missed, overruns, stalls int64) (level PressureLevel, evaluated, changed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.steps++
+	d.served += served
+	d.missed += missed
+	d.overruns += overruns
+	d.stalls += stalls
+	if d.steps < d.policy.Window {
+		return d.level, false, false
+	}
+
+	// Window boundary: classify the raw level from the accumulators.
+	raw := PressureNormal
+	var frac float64
+	if d.served > 0 {
+		frac = float64(d.missed) / float64(d.served)
+	}
+	switch {
+	case frac >= d.policy.OverloadMiss:
+		raw = PressureOverloaded
+	case frac >= d.policy.PressureMiss || d.overruns > 0 || d.stalls > 0:
+		raw = PressurePressured
+	}
+	d.steps, d.served, d.missed, d.overruns, d.stalls = 0, 0, 0, 0, 0
+	d.windows++
+	d.dirty = raw >= PressurePressured
+
+	prev := d.level
+	switch {
+	case raw > d.level:
+		// Escalate immediately: overload is the state we must not sit in.
+		d.level = raw
+		d.clean = 0
+	case raw < d.level:
+		// De-escalate only after ClearWindows consecutive cleaner
+		// windows, so one quiet window under a bursty load does not
+		// trigger a premature restore.
+		d.clean++
+		if d.clean >= d.policy.ClearWindows {
+			d.level--
+			d.clean = 0
+		}
+	default:
+		d.clean = 0
+	}
+	if d.level != prev {
+		d.transitions++
+	}
+	return d.level, true, d.level != prev
+}
+
+// Priority is a session's service class: the order in which the engine
+// chooses victims for degradation sweeps and, symmetrically, the order
+// restores are owed.  Higher is more important.  The zero value is
+// PriorityNormal, so sessions that never set one behave as before.
+type Priority int
+
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+// String renders the priority for status displays.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}

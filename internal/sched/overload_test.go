@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"avdb/internal/avtime"
+)
+
+// feedWindow pushes one full window of identical steps and returns the
+// boundary evaluation.
+func feedWindow(t *testing.T, d *OverloadDetector, served, missed, overruns, stalls int64) (PressureLevel, bool) {
+	t.Helper()
+	w := d.Policy().Window
+	for i := 0; i < w-1; i++ {
+		if _, evaluated, _ := d.ObserveStep(served, missed, overruns, stalls); evaluated {
+			t.Fatalf("window boundary fired early at step %d of %d", i+1, w)
+		}
+	}
+	level, evaluated, changed := d.ObserveStep(served, missed, overruns, stalls)
+	if !evaluated {
+		t.Fatalf("window boundary did not fire at step %d", w)
+	}
+	return level, changed
+}
+
+func TestOverloadDetectorEscalatesImmediately(t *testing.T) {
+	d := NewOverloadDetector(OverloadPolicy{})
+	if got := d.Level(); got != PressureNormal {
+		t.Fatalf("initial level = %v, want normal", got)
+	}
+	// One window at a 1/3 miss rate jumps straight to overloaded.
+	level, changed := feedWindow(t, d, 6, 2, 1, 0)
+	if level != PressureOverloaded || !changed {
+		t.Fatalf("after thrashing window: level=%v changed=%v, want overloaded/true", level, changed)
+	}
+	if d.Transitions() != 1 {
+		t.Fatalf("transitions = %d, want 1", d.Transitions())
+	}
+}
+
+func TestOverloadDetectorPressureSignals(t *testing.T) {
+	// Each of the three signals alone must raise pressure.
+	cases := []struct {
+		name                             string
+		served, missed, overruns, stalls int64
+	}{
+		{"miss-rate", 20, 2, 0, 0}, // 10% >= 5% threshold
+		{"overrun", 20, 0, 1, 0},
+		{"stall", 20, 0, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewOverloadDetector(OverloadPolicy{})
+			level, _ := feedWindow(t, d, tc.served, tc.missed, tc.overruns, tc.stalls)
+			if level != PressurePressured {
+				t.Fatalf("level = %v, want pressured", level)
+			}
+		})
+	}
+}
+
+func TestOverloadDetectorHysteresis(t *testing.T) {
+	d := NewOverloadDetector(OverloadPolicy{ClearWindows: 2})
+	feedWindow(t, d, 6, 2, 0, 0) // -> overloaded
+	if d.Level() != PressureOverloaded {
+		t.Fatalf("level = %v, want overloaded", d.Level())
+	}
+	// One clean window is not enough to step down.
+	if level, changed := feedWindow(t, d, 6, 0, 0, 0); level != PressureOverloaded || changed {
+		t.Fatalf("after 1 clean window: level=%v changed=%v, want overloaded/false", level, changed)
+	}
+	// The second clean window steps down exactly one level.
+	if level, changed := feedWindow(t, d, 6, 0, 0, 0); level != PressurePressured || !changed {
+		t.Fatalf("after 2 clean windows: level=%v changed=%v, want pressured/true", level, changed)
+	}
+	// A dirty window resets the de-escalation count.
+	feedWindow(t, d, 6, 1, 0, 0) // 16% — pressured, matches current level
+	feedWindow(t, d, 6, 0, 0, 0)
+	if level, _ := feedWindow(t, d, 6, 0, 0, 0); level != PressureNormal {
+		t.Fatalf("after 2 clean windows from pressured: level=%v, want normal", level)
+	}
+	if got := d.Transitions(); got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
+}
+
+func TestOverloadDetectorIdleWindowsAreClean(t *testing.T) {
+	// Served == 0 must not divide by zero and classifies normal.
+	d := NewOverloadDetector(OverloadPolicy{ClearWindows: 1})
+	feedWindow(t, d, 4, 4, 0, 0)
+	if d.Level() != PressureOverloaded {
+		t.Fatalf("level = %v, want overloaded", d.Level())
+	}
+	feedWindow(t, d, 0, 0, 0, 0)
+	feedWindow(t, d, 0, 0, 0, 0)
+	if d.Level() != PressureNormal {
+		t.Fatalf("idle windows did not clear pressure: %v", d.Level())
+	}
+}
+
+func TestOverloadPolicyDefaults(t *testing.T) {
+	p := OverloadPolicy{}.withDefaults()
+	if p.Window != 6 || p.PressureMiss != 0.05 || p.OverloadMiss != 0.25 ||
+		p.ClearWindows != 2 || p.RetryAfter != avtime.Second {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+func TestPressureLevelAndPriorityStrings(t *testing.T) {
+	if PressureNormal.String() != "normal" || PressurePressured.String() != "pressured" ||
+		PressureOverloaded.String() != "overloaded" {
+		t.Fatal("pressure level strings drifted")
+	}
+	if PriorityLow.String() != "low" || PriorityNormal.String() != "normal" ||
+		PriorityHigh.String() != "high" {
+		t.Fatal("priority strings drifted")
+	}
+	var zero Priority
+	if zero != PriorityNormal {
+		t.Fatal("zero Priority must be PriorityNormal")
+	}
+}

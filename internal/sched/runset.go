@@ -1,23 +1,35 @@
 package sched
 
-import "avdb/internal/avtime"
+import (
+	"sort"
+
+	"avdb/internal/avtime"
+)
 
 // RunID names one admitted run inside a RunSet.
 type RunID int64
 
 // RunSet is the admission book the multi-session engine schedules from:
-// a set of runs, each with the world time its next tick is due, kept in
-// admission order.  Every step the engine asks for the batch of runs
-// sharing the earliest due time, ticks them, and reschedules each with
-// its new due time.  Admission order is the tie-break, so the step
-// sequence is deterministic for a given admission history regardless of
-// map iteration or goroutine interleaving.
+// a set of runs, each with the world time its next tick is due.  Every
+// step the engine asks for the batch of runs sharing the earliest due
+// time, ticks them, and reschedules each with its new due time.
+// Admission order is the tie-break, so the step sequence is
+// deterministic for a given admission history regardless of map
+// iteration or goroutine interleaving.
+//
+// The set is an indexed binary min-heap keyed (due, admission order):
+// Admit, Reschedule and Remove are O(log n) and DueBatch visits only
+// the heap prefix holding the minimum due time, where the original
+// linear book paid O(n) per operation on every step.  RunIDs are
+// handed out in admission order, so ordering ties by id IS ordering by
+// admission.
 //
 // RunSet is not goroutine-safe; the engine serializes access under its
 // own lock.
 type RunSet struct {
-	next    RunID
-	entries []runSetEntry // admission order
+	next RunID
+	heap []runSetEntry // binary min-heap on (due, id)
+	pos  map[RunID]int // id -> index in heap
 }
 
 type runSetEntry struct {
@@ -25,56 +37,117 @@ type runSetEntry struct {
 	due avtime.WorldTime
 }
 
+// less orders the heap by due time, ties by admission order.
+func (s *RunSet) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.id < b.id
+}
+
+func (s *RunSet) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].id] = i
+	s.pos[s.heap[j].id] = j
+}
+
+func (s *RunSet) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *RunSet) down(i int) {
+	n := len(s.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && s.less(left, least) {
+			least = left
+		}
+		if right < n && s.less(right, least) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
 // Admit adds a run due at the given time and returns its id.
 func (s *RunSet) Admit(due avtime.WorldTime) RunID {
+	if s.pos == nil {
+		s.pos = make(map[RunID]int)
+	}
 	s.next++
 	id := s.next
-	s.entries = append(s.entries, runSetEntry{id: id, due: due})
+	s.heap = append(s.heap, runSetEntry{id: id, due: due})
+	s.pos[id] = len(s.heap) - 1
+	s.up(len(s.heap) - 1)
 	return id
 }
 
 // Reschedule updates a run's next due time.  Unknown ids are ignored
 // (the run may have been removed by a concurrent finish).
 func (s *RunSet) Reschedule(id RunID, due avtime.WorldTime) {
-	for i := range s.entries {
-		if s.entries[i].id == id {
-			s.entries[i].due = due
-			return
-		}
+	i, ok := s.pos[id]
+	if !ok {
+		return
 	}
+	s.heap[i].due = due
+	s.up(i)
+	s.down(i)
 }
 
-// Remove deletes a run from the set, preserving admission order of the
-// remainder.
+// Remove deletes a run from the set.
 func (s *RunSet) Remove(id RunID) {
-	for i := range s.entries {
-		if s.entries[i].id == id {
-			s.entries = append(s.entries[:i], s.entries[i+1:]...)
-			return
-		}
+	i, ok := s.pos[id]
+	if !ok {
+		return
+	}
+	last := len(s.heap) - 1
+	s.swap(i, last)
+	s.heap = s.heap[:last]
+	delete(s.pos, id)
+	if i < last {
+		s.up(i)
+		s.down(i)
 	}
 }
 
 // Len returns the number of admitted runs.
-func (s *RunSet) Len() int { return len(s.entries) }
+func (s *RunSet) Len() int { return len(s.heap) }
 
-// DueBatch returns the earliest due time and the ids of every run due at
-// exactly that time, in admission order.  ok is false when the set is
-// empty.
+// DueBatch returns the earliest due time and the ids of every run due
+// at exactly that time, in admission order.  ok is false when the set
+// is empty.  The walk is pruned at the first entry past the minimum on
+// each heap path, so the cost is proportional to the batch, not the
+// set.
 func (s *RunSet) DueBatch() (due avtime.WorldTime, ids []RunID, ok bool) {
-	if len(s.entries) == 0 {
+	if len(s.heap) == 0 {
 		return 0, nil, false
 	}
-	due = s.entries[0].due
-	for _, e := range s.entries[1:] {
-		if e.due < due {
-			due = e.due
+	due = s.heap[0].due
+	// Collect every entry at the minimum due: a subtree whose root is
+	// past the minimum cannot contain one, by the heap property.
+	stack := []int{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if i >= len(s.heap) || s.heap[i].due != due {
+			continue
 		}
+		ids = append(ids, s.heap[i].id)
+		stack = append(stack, 2*i+1, 2*i+2)
 	}
-	for _, e := range s.entries {
-		if e.due == due {
-			ids = append(ids, e.id)
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return due, ids, true
 }

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"avdb/internal/avtime"
+)
+
+// linearRunSet is the original O(n)-per-step admission book the heap
+// replaced: a slice in admission order, min-next-due found by scanning.
+// It is kept here as the executable specification the heap must match
+// batch for batch.
+type linearRunSet struct {
+	next    RunID
+	entries []runSetEntry
+}
+
+func (s *linearRunSet) Admit(due avtime.WorldTime) RunID {
+	s.next++
+	s.entries = append(s.entries, runSetEntry{id: s.next, due: due})
+	return s.next
+}
+
+func (s *linearRunSet) Reschedule(id RunID, due avtime.WorldTime) {
+	for i := range s.entries {
+		if s.entries[i].id == id {
+			s.entries[i].due = due
+			return
+		}
+	}
+}
+
+func (s *linearRunSet) Remove(id RunID) {
+	for i := range s.entries {
+		if s.entries[i].id == id {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *linearRunSet) DueBatch() (due avtime.WorldTime, ids []RunID, ok bool) {
+	if len(s.entries) == 0 {
+		return 0, nil, false
+	}
+	due = s.entries[0].due
+	for _, e := range s.entries[1:] {
+		if e.due < due {
+			due = e.due
+		}
+	}
+	for _, e := range s.entries {
+		if e.due == due {
+			ids = append(ids, e.id)
+		}
+	}
+	return due, ids, true
+}
+
+// TestRunSetHeapMatchesLinearScan drives the heap and the linear
+// specification through the same randomized admission history —
+// admits, reschedules, removes, and the engine's pop-batch step — and
+// requires identical due times and identical batch order at every
+// step.  Due times are drawn from a tiny range so multi-run ties (the
+// interesting case for admission-order tie-breaking) are common.
+func TestRunSetHeapMatchesLinearScan(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1993} {
+		rng := rand.New(rand.NewSource(seed))
+		var heap RunSet
+		var linear linearRunSet
+		var live []RunID
+
+		check := func(step int) {
+			hd, hids, hok := heap.DueBatch()
+			ld, lids, lok := linear.DueBatch()
+			if hok != lok || hd != ld || !reflect.DeepEqual(hids, lids) {
+				t.Fatalf("seed %d step %d: heap batch (%v,%v,%v) != linear (%v,%v,%v)",
+					seed, step, hd, hids, hok, ld, lids, lok)
+			}
+			if heap.Len() != len(linear.entries) {
+				t.Fatalf("seed %d step %d: Len %d != %d", seed, step, heap.Len(), len(linear.entries))
+			}
+		}
+
+		due := func() avtime.WorldTime {
+			return avtime.WorldTime(rng.Intn(8)) * 10 * avtime.Millisecond
+		}
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4 || len(live) == 0: // admit
+				d := due()
+				hid := heap.Admit(d)
+				lid := linear.Admit(d)
+				if hid != lid {
+					t.Fatalf("seed %d step %d: Admit ids diverge: %v != %v", seed, step, hid, lid)
+				}
+				live = append(live, hid)
+			case op < 6: // reschedule a random live run
+				id := live[rng.Intn(len(live))]
+				d := due()
+				heap.Reschedule(id, d)
+				linear.Reschedule(id, d)
+			case op < 7: // remove a random live run
+				i := rng.Intn(len(live))
+				id := live[i]
+				heap.Remove(id)
+				linear.Remove(id)
+				live = append(live[:i], live[i+1:]...)
+			default: // the engine's step: pop the due batch, reschedule each
+				_, ids, ok := heap.DueBatch()
+				if ok {
+					for _, id := range ids {
+						d := due()
+						heap.Reschedule(id, d)
+						linear.Reschedule(id, d)
+					}
+				}
+			}
+			check(step)
+		}
+	}
+}

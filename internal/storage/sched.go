@@ -60,6 +60,7 @@ type IOStats struct {
 	SeeksCharged   int64 // positioning costs actually charged (incl. demand)
 	SeeksSaved     int64 // scheduled requests that rode an adjacent run for free
 	DeadlineMisses int64 // requests whose disk finished past their deadline
+	RoundsOverrun  int64 // per-disk batches whose service ran past their last deadline
 	MaxBatch       int   // largest per-disk batch seen
 }
 
@@ -188,6 +189,7 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 	}
 	var busy avtime.WorldTime
 	var misses, charged, saved int64
+	last := batch[len(batch)-1].deadline // SCAN-EDF sorts by deadline, so this is the latest
 	for i, q := range batch {
 		var seek avtime.WorldTime
 		if i == 0 || abs(q.track-pos) > 1 {
@@ -215,11 +217,18 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 		pos = q.track
 	}
 	io.heads[devID] = pos
+	// An overrun batch is the round-level pressure signal: the disk was
+	// still busy when its last request's deadline passed, so the round
+	// as scheduled was infeasible — not just one unlucky request late.
+	overrun := start+busy > last
 	io.stats.Batches++
 	io.stats.Scheduled += int64(len(batch))
 	io.stats.SeeksCharged += charged
 	io.stats.SeeksSaved += saved
 	io.stats.DeadlineMisses += misses
+	if overrun {
+		io.stats.RoundsOverrun++
+	}
 	if len(batch) > io.stats.MaxBatch {
 		io.stats.MaxBatch = len(batch)
 	}
@@ -234,6 +243,9 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 		}
 		if misses > 0 {
 			io.sink.Count("storage.iosched.deadline_misses", misses)
+		}
+		if overrun {
+			io.sink.Count("storage.iosched.overrun", 1)
 		}
 	}
 }

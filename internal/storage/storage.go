@@ -354,12 +354,13 @@ type Stream struct {
 	seeks  bool             // contended pricing: every demand read seeks
 	unit   avtime.WorldTime // playback interval between chunk deadlines
 
-	mu      sync.Mutex
-	open    bool
-	startup avtime.WorldTime // positioning cost charged on the first read
-	bytes   int64
-	sink    obs.Sink    // copied from the store at open time
-	cache   *chunkCache // nil when the store's policy disables caching
+	mu       sync.Mutex
+	open     bool
+	startup  avtime.WorldTime // positioning cost charged on the first read
+	bytes    int64
+	readFrac float64     // fraction of each chunk scheduled reads transfer; 0 = full
+	sink     obs.Sink    // copied from the store at open time
+	cache    *chunkCache // nil when the store's policy disables caching
 }
 
 // OpenStream reserves rate on the segment's device and returns a stream.
@@ -739,16 +740,40 @@ func (s *Stream) submitNextLocked(idx int, round int64, now, deadline avtime.Wor
 	if !ok {
 		return
 	}
+	bytes := s.seg.chunkSize[next]
+	if s.readFrac > 0 && s.readFrac < 1 {
+		bytes = int64(float64(bytes) * s.readFrac)
+		if bytes < 1 {
+			bytes = 1
+		}
+	}
 	s.io.submit(round, ioReq{
 		sid:      s.sid,
 		chunk:    next,
-		bytes:    s.seg.chunkSize[next],
+		bytes:    bytes,
 		disk:     d,
 		track:    track,
 		rate:     s.rate,
 		now:      now,
 		deadline: deadline + s.unit,
 	})
+}
+
+// SetPayloadBytes tells the stream the total size of the representation
+// it is now delivering.  A degraded consumer views the stored value at
+// lower quality by ignoring part of the encoded data, so when the
+// payload shrinks below the placed segment's size, scheduled prefetches
+// transfer only the matching fraction of each chunk — the point of
+// degrading under pressure is that the disk rounds get shorter.  A total
+// of zero, or one at least the segment size, restores full-chunk reads.
+func (s *Stream) SetPayloadBytes(total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if total <= 0 || s.seg.size <= 0 || total >= s.seg.size {
+		s.readFrac = 0
+		return
+	}
+	s.readFrac = float64(total) / float64(s.seg.size)
 }
 
 // CacheStats reports the stream's cache behavior; the zero value when

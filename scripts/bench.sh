@@ -3,6 +3,7 @@
 # BENCH_<tag>.json.
 #
 # Usage: scripts/bench.sh <tag> [output.json]
+#        scripts/bench.sh gate
 #
 #   pr3   wavefront executor: serial vs parallel BenchmarkGraphRun on the
 #         8-wide burn graph; reports ns/op per arm and the host speedup.
@@ -13,6 +14,14 @@
 #         shared run loop at 1 vs 4 sessions) plus the deterministic
 #         virtual-time tenancy experiment (shared-clock sessions vs
 #         back-to-back: throughput, speedup, seeks charged/saved).
+#   pr6   overload control: BenchmarkEngineOverload (run-loop host cost
+#         with the detector + sweeps on vs off) plus the deterministic
+#         overload experiment (bounded vs thrashing miss rates).
+#
+#   gate  trajectory gate: re-measure every committed BENCH_*.json tag
+#         and fail (via cmd/benchgate) when any host ns/op metric
+#         regressed more than BENCH_GATE_RATIO (default 1.10) over the
+#         committed baseline.
 #
 # Host speedups are hardware-dependent; the stripe experiment's virtual
 # numbers are deterministic and reproduce the committed golden file.
@@ -150,8 +159,83 @@ pr5)
     printf "}\n"
   }' > "$out"
   ;;
+pr6)
+  bench_out=$(go test -run '^$' -bench 'BenchmarkEngineOverload' -benchtime "${BENCHTIME:-20x}" -count "${BENCHCOUNT:-1}" ./internal/core/)
+  echo "$bench_out"
+  off=$(echo "$bench_out" | awk '/BenchmarkEngineOverload\/control-off/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  on=$(echo "$bench_out" | awk '/BenchmarkEngineOverload\/control-on/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  if [ -z "$off" ] || [ -z "$on" ]; then
+    echo "bench: could not parse BenchmarkEngineOverload output" >&2
+    exit 1
+  fi
+  # The virtual-time comparison: deterministic, matches the overload golden.
+  exp_out=$(go run ./cmd/avbench -exp overload -frames 120 -sessions 4)
+  echo "$exp_out"
+  # Control-on io line first, control-off second:
+  #   io: deadline misses=23/390 served (5.9%), rounds overrun=23
+  read -r on_miss on_served on_rate on_over <<<"$(echo "$exp_out" | awk '/^io:/ {
+    split($3, a, /[=\/]/); rate=$5; gsub(/[()%,]/, "", rate); split($7, b, "=")
+    print a[2], a[3], rate, b[2]; exit }')"
+  read -r off_miss off_served off_rate off_over <<<"$(echo "$exp_out" | awk '/^io:/ {
+    if (++n == 2) { split($3, a, /[=\/]/); rate=$5; gsub(/[()%,]/, "", rate); split($7, b, "=")
+    print a[2], a[3], rate, b[2] } }')"
+  #   pressure: final=normal transitions=7 rejected=1 degraded=4 restored=4
+  read -r rejected degraded restored <<<"$(echo "$exp_out" | awk '/^pressure:/ {
+    split($4, r, "="); split($5, d, "="); split($6, s, "=")
+    print r[2], d[2], s[2]; exit }')"
+  if [ -z "$on_miss" ] || [ -z "$off_miss" ] || [ -z "$rejected" ]; then
+    echo "bench: could not parse overload experiment output" >&2
+    exit 1
+  fi
+  awk -v off="$off" -v on="$on" \
+      -v onm="$on_miss" -v onsv="$on_served" -v onr="$on_rate" -v ono="$on_over" \
+      -v offm="$off_miss" -v offsv="$off_served" -v offr="$off_rate" -v offo="$off_over" \
+      -v rej="$rejected" -v deg="$degraded" -v res="$restored" \
+      -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkEngineOverload\",\n"
+    printf "  \"workload\": {\"sessions\": 4, \"frames\": 120, \"loaded_disks\": 2, \"late_joiner\": true},\n"
+    printf "  \"host_ns_per_op\": {\"control_off\": %d, \"control_on\": %d},\n", off, on
+    printf "  \"virtual\": {\n"
+    printf "    \"experiment\": \"avbench -exp overload -frames 120 -sessions 4\",\n"
+    printf "    \"control_on\": {\"deadline_misses\": %s, \"served\": %s, \"miss_rate_pct\": %s, \"rounds_overrun\": %s, \"rejected\": %s, \"degraded\": %s, \"restored\": %s},\n", onm, onsv, onr, ono, rej, deg, res
+    printf "    \"control_off\": {\"deadline_misses\": %s, \"served\": %s, \"miss_rate_pct\": %s, \"rounds_overrun\": %s}\n", offm, offsv, offr, offo
+    printf "  },\n"
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
+gate)
+  # Trajectory gate: every committed baseline is re-measured on this
+  # host and compared metric-by-metric.  Fresh measurements go to a
+  # temp dir so the committed baselines are left untouched.
+  status=0
+  baselines=$(git ls-files 'BENCH_*.json')
+  if [ -z "$baselines" ]; then
+    echo "bench gate: no committed BENCH_*.json baselines" >&2
+    exit 2
+  fi
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' EXIT
+  for base in $baselines; do
+    t="${base#BENCH_}"
+    t="${t%.json}"
+    echo "=== gate: re-measuring $t against $base ==="
+    if ! bash "$0" "$t" "$tmpdir/BENCH_${t}.json" >"$tmpdir/${t}.log" 2>&1; then
+      echo "bench gate: measuring $t failed:" >&2
+      cat "$tmpdir/${t}.log" >&2
+      status=1
+      continue
+    fi
+    if ! go run ./cmd/benchgate -old "$base" -new "$tmpdir/BENCH_${t}.json" -ratio "${BENCH_GATE_RATIO:-1.10}"; then
+      status=1
+    fi
+  done
+  exit $status
+  ;;
 *)
-  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5)" >&2
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, gate)" >&2
   exit 2
   ;;
 esac
