@@ -7,12 +7,14 @@
 //	benchgate -old BENCH_pr5.json -new /tmp/BENCH_pr5.json [-ratio 1.10]
 //
 // Every numeric field whose JSON path contains "ns_per_op" is treated
-// as a host-time metric (lower is better).  Virtual-time fields are
-// ignored: those are deterministic and pinned by the golden files, so
-// drift there is a test failure, not a bench regression.  Metrics
-// present in only one file are reported but never fail the gate, so
-// adding a new benchmark arm does not break the comparison against an
-// older baseline.
+// as a host-time metric (lower is better), and every field whose path
+// contains "gated_ratio" as a dimensionless lower-is-better target (for
+// example the scheduled-vs-demand read overhead ratio PR 7 holds under
+// 2x).  Virtual-time fields are ignored: those are deterministic and
+// pinned by the golden files, so drift there is a test failure, not a
+// bench regression.  Metrics present in only one file are reported but
+// never fail the gate, so adding a new benchmark arm does not break the
+// comparison against an older baseline.
 package main
 
 import (
@@ -45,7 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(oldM) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: no ns_per_op metrics in baseline %s\n", *oldPath)
+		fmt.Fprintf(os.Stderr, "benchgate: no ns_per_op or gated_ratio metrics in baseline %s\n", *oldPath)
 		os.Exit(2)
 	}
 
@@ -73,11 +75,11 @@ func main() {
 			mark = "  REGRESSED"
 			failed = true
 		}
-		fmt.Printf("%-55s %14.0f %14.0f %8.3f%s\n", p, old, nv, r, mark)
+		fmt.Printf("%-55s %14.6g %14.6g %8.3f%s\n", p, old, nv, r, mark)
 	}
 	for p, nv := range newM {
 		if _, ok := oldM[p]; !ok {
-			fmt.Printf("%-55s %14s %14.0f %8s\n", p, "(new)", nv, "-")
+			fmt.Printf("%-55s %14s %14.6g %8s\n", p, "(new)", nv, "-")
 		}
 	}
 	if failed {
@@ -89,7 +91,7 @@ func main() {
 }
 
 // loadMetrics flattens a BENCH json into path -> value for every
-// numeric field on a path mentioning ns_per_op.
+// numeric field on a path mentioning ns_per_op or gated_ratio.
 func loadMetrics(path string) (map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -115,7 +117,7 @@ func flatten(prefix string, v any, out map[string]float64) {
 			flatten(p, sub, out)
 		}
 	case float64:
-		if strings.Contains(prefix, "ns_per_op") {
+		if strings.Contains(prefix, "ns_per_op") || strings.Contains(prefix, "gated_ratio") {
 			out[prefix] = x
 		}
 	}

@@ -14,6 +14,7 @@ package device
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"avdb/internal/avtime"
 	"avdb/internal/media"
@@ -154,9 +155,19 @@ type Disk struct {
 	seek     avtime.WorldTime
 	bw       bwAccount
 
-	mu     sync.Mutex
-	used   int64
-	hook   FaultHook
+	// geom and hook are read on the scheduler's hot path (a positioned
+	// seek per batch run, a fault check per chunk), so they live behind
+	// atomics instead of mu: SeekBetween/TrackOf/CheckRead stay
+	// lock-free while SetGeometry/SetFaultHook swap whole values.
+	geom atomic.Pointer[diskGeom] // nil = flat seek model
+	hook atomic.Pointer[FaultHook]
+
+	mu   sync.Mutex
+	used int64
+}
+
+// diskGeom is the positional model installed by SetGeometry.
+type diskGeom struct {
 	tracks int              // >1 enables the positional seek model
 	settle avtime.WorldTime // cost of the shortest positioned seek
 }
@@ -261,21 +272,18 @@ func (d *Disk) SetGeometry(tracks int, settle avtime.WorldTime) error {
 	if tracks < 1 {
 		tracks = 1
 	}
-	d.mu.Lock()
-	d.tracks, d.settle = tracks, settle
-	d.mu.Unlock()
+	d.geom.Store(&diskGeom{tracks: tracks, settle: settle})
 	return nil
 }
 
 // Tracks reports the number of tracks in the positional model; 1 when
 // the disk uses the flat seek model.
 func (d *Disk) Tracks() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.tracks < 1 {
+	g := d.geom.Load()
+	if g == nil || g.tracks < 1 {
 		return 1
 	}
-	return d.tracks
+	return g.tracks
 }
 
 // TrackOf maps a byte offset to the track holding it.  Offsets are
@@ -299,12 +307,11 @@ func (d *Disk) TrackOf(offset int64) int {
 // same track is free and the cost grows linearly with distance from
 // settle up to the full average seek across the whole platter.
 func (d *Disk) SeekBetween(from, to int) avtime.WorldTime {
-	d.mu.Lock()
-	tracks, settle := d.tracks, d.settle
-	d.mu.Unlock()
-	if tracks <= 1 {
+	g := d.geom.Load()
+	if g == nil || g.tracks <= 1 {
 		return d.seek
 	}
+	tracks, settle := g.tracks, g.settle
 	if from == to {
 		return 0
 	}
@@ -321,21 +328,17 @@ func (d *Disk) SeekBetween(from, to int) avtime.WorldTime {
 
 // SetFaultHook implements Faultable.
 func (d *Disk) SetFaultHook(h FaultHook) {
-	d.mu.Lock()
-	d.hook = h
-	d.mu.Unlock()
+	d.hook.Store(&h)
 }
 
 // CheckRead implements Faultable: it consults the fault hook before a
 // read of bytes, returning any extra latency and injected error.
 func (d *Disk) CheckRead(bytes int64) (avtime.WorldTime, error) {
-	d.mu.Lock()
-	h := d.hook
-	d.mu.Unlock()
-	if h == nil {
+	p := d.hook.Load()
+	if p == nil || *p == nil {
 		return 0, nil
 	}
-	return h.BeforeRead(d.id, bytes)
+	return (*p).BeforeRead(d.id, bytes)
 }
 
 // Jukebox is an analog videodisc jukebox: several discs, one of which is

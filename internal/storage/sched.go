@@ -14,17 +14,35 @@ package storage
 // before any activity of tick T+1 runs, so by the time flushBefore(T+1)
 // fires, round T's batch content is complete and identical no matter how
 // many workers raced through tick T.  The SCAN-EDF sort key (deadline,
-// track, stream, chunk) is total, so the service order — and with it the
-// per-disk head walk, every seek charge and every counter — is
+// track, stream, chunk) is total — sid is unique within one disk's batch
+// because a stream resubmitting in the same round replaces its previous
+// request, so no two distinct batch members ever compare equal (pinned
+// by TestSCANEDFKeyTotalOrder) — and therefore the service order, the
+// per-disk head walk, every seek charge and every counter are
 // independent of submission order.  Within one flush, rounds are
 // serviced in ascending round order and disks in ID order.
+//
+// The hot path is allocation-free in steady state (pinned by
+// TestIOSchedAllocsPerRun).  Rounds live in flat, reusable buffers: a
+// schedRound holds one diskBatch per disk, kept sorted by device ID, and
+// each batch keeps its requests sorted by the SCAN-EDF key from the
+// moment they are inserted — deadline-bucketed insertion at enqueue —
+// so flushing a round walks the batches in final service order with no
+// sort at all.  Retired rounds are recycled through a per-IOSched free
+// list (their batch and request capacity survives the round trip) with a
+// package-level sync.Pool as spillover, so once the buffers are warm the
+// scheduled chunk path allocates nothing.  The retained reference
+// implementation of the original map+sort scheduler lives in
+// sched_reference_test.go; the differential harness
+// (sched_differential_test.go, FuzzSCANEDFOrder) proves the two produce
+// byte-identical service orders, seek charges and metrics.
 //
 // IOSched runs entirely in virtual time: servicing a batch prices the
 // requests, it does not block anything.
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"avdb/internal/avtime"
 	"avdb/internal/device"
@@ -33,7 +51,9 @@ import (
 )
 
 // ioReq is one stream's request for one chunk, tagged with the playback
-// deadline its consumer attached.
+// deadline its consumer attached.  The SCAN-EDF sort key is the field
+// tuple (deadline, track, sid, chunk); track is computed once at
+// enqueue from the segment's cached track map, never during service.
 type ioReq struct {
 	sid      int64 // submitting stream
 	chunk    int
@@ -43,12 +63,56 @@ type ioReq struct {
 	rate     media.DataRate   // stream rate, prices the transfer
 	now      avtime.WorldTime // submission (tick) time
 	deadline avtime.WorldTime // when the chunk must be presentable
+	slot     *ioSlot          // where the serviced result lands
+}
+
+// ioSlot receives a stream's serviced result.  One slot belongs to one
+// stream (it is embedded in Stream, so delivering a result is two field
+// writes — no per-stream map on the hot path); every access is guarded
+// by the owning IOSched's mu.
+type ioSlot struct {
+	chunk int
+	cost  avtime.WorldTime
+	full  bool
+	// displaced holds the request consumeNext's eager queue replaced (a
+	// same-stream request already sat in the round), so an unconsume can
+	// restore it instead of leaving a hole.  Valid only between a
+	// consumeNext and the unconsume that undoes it.
+	displaced    ioReq
+	hasDisplaced bool
+}
+
+// reqBefore is the SCAN-EDF total order: earliest deadline first, ties
+// by track position, then stream, then chunk.
+func reqBefore(a, b *ioReq) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.track != b.track {
+		return a.track < b.track
+	}
+	if a.sid != b.sid {
+		return a.sid < b.sid
+	}
+	return a.chunk < b.chunk
 }
 
 // ioResult is a serviced request waiting for its stream to consume it.
 type ioResult struct {
 	chunk int
 	cost  avtime.WorldTime // what the consuming read is charged
+}
+
+// svcEvent records one serviced request; emitted only when a service
+// trace is installed (the differential harness's byte-identical-order
+// probe), nil in production.
+type svcEvent struct {
+	dev   string
+	sid   int64
+	chunk int
+	track int
+	seek  avtime.WorldTime
+	cost  avtime.WorldTime
 }
 
 // IOStats summarizes the scheduler's behavior.
@@ -64,23 +128,53 @@ type IOStats struct {
 	MaxBatch       int   // largest per-disk batch seen
 }
 
+// diskBatch is one disk's requests for one round, kept in SCAN-EDF
+// order from insertion so servicing walks it front to back.
+type diskBatch struct {
+	devID string
+	disk  *device.Disk
+	reqs  []ioReq
+}
+
+// schedRound is one round's batches, kept sorted by device ID.  The
+// struct is reused: retiring a round truncates the batches and their
+// request slices without releasing capacity.
+type schedRound struct {
+	seq     int64
+	batches []diskBatch
+}
+
+// roundPool is the spillover behind each IOSched's free list: rounds
+// displaced from a full free list park here so another store (or a
+// burst of deep pending windows) can reuse their buffers.
+var roundPool = sync.Pool{New: func() any { return new(schedRound) }}
+
+// roundFreeCap bounds the per-IOSched free list; in steady state one
+// round retires per flush, so the list stays short and deterministic —
+// the sync.Pool only sees overflow.
+const roundFreeCap = 8
+
 // IOSched batches chunk requests into per-device service rounds.
 type IOSched struct {
-	mu      sync.Mutex
-	sink    obs.Sink
-	pending map[int64]map[string]map[int64]ioReq // round -> disk -> stream -> request
-	results map[int64]ioResult                   // stream -> last serviced request
-	heads   map[string]int                       // disk -> head track after last round
-	flushed int64                                // rounds below this are serviced
-	stats   IOStats
+	// flushed is the service watermark: rounds below it are priced.  It
+	// only grows, and it is read lock-free so every stream after the
+	// first in a tick skips the flush lock entirely (a stale read just
+	// falls through to the locked re-check).
+	flushed atomic.Int64
+
+	mu       sync.Mutex
+	sink     obs.Sink
+	pending  []*schedRound        // unserviced rounds, ascending seq
+	free     []*schedRound        // recycled round buffers
+	heads    map[*device.Disk]int // disk -> head track after last round
+	stats    IOStats
+	svcTrace *[]svcEvent // test hook: records service order when non-nil
 }
 
 func newIOSched(sink obs.Sink) *IOSched {
 	return &IOSched{
-		sink:    sink,
-		pending: make(map[int64]map[string]map[int64]ioReq),
-		results: make(map[int64]ioResult),
-		heads:   make(map[string]int),
+		sink:  sink,
+		heads: make(map[*device.Disk]int),
 	}
 }
 
@@ -99,88 +193,170 @@ func (io *IOSched) Stats() IOStats {
 	return io.stats
 }
 
+// getRound returns a reset round buffer: free list first, then the
+// shared pool.
+func (io *IOSched) getRound() *schedRound {
+	if n := len(io.free); n > 0 {
+		r := io.free[n-1]
+		io.free[n-1] = nil
+		io.free = io.free[:n-1]
+		return r
+	}
+	return roundPool.Get().(*schedRound)
+}
+
+// putRound recycles a serviced round, keeping every batch's request
+// capacity alive under the truncated length so the next use of the
+// buffer allocates nothing.
+func (io *IOSched) putRound(r *schedRound) {
+	for i := range r.batches {
+		r.batches[i].disk = nil
+		r.batches[i].reqs = r.batches[i].reqs[:0]
+	}
+	r.batches = r.batches[:0]
+	if len(io.free) < roundFreeCap {
+		io.free = append(io.free, r)
+		return
+	}
+	roundPool.Put(r)
+}
+
+// roundFor finds or inserts the pending round with the given sequence
+// number, keeping io.pending sorted ascending; io.mu is held.  Rounds
+// arrive in nearly ascending order, so the scan runs from the back.
+func (io *IOSched) roundFor(seq int64) *schedRound {
+	n := len(io.pending)
+	i := n
+	for i > 0 {
+		r := io.pending[i-1]
+		if r.seq == seq {
+			return r
+		}
+		if r.seq < seq {
+			break
+		}
+		i--
+	}
+	r := io.getRound()
+	r.seq = seq
+	io.pending = append(io.pending, nil)
+	copy(io.pending[i+1:], io.pending[i:])
+	io.pending[i] = r
+	return r
+}
+
+// batchFor finds or inserts the round's batch for the given disk,
+// keeping batches sorted by device ID.  Growing into the truncated
+// region of a recycled buffer reclaims the spare element's request
+// capacity instead of dropping it.
+func (r *schedRound) batchFor(d *device.Disk) *diskBatch {
+	id := d.ID()
+	n := len(r.batches)
+	i := 0
+	for i < n {
+		if r.batches[i].disk == d {
+			return &r.batches[i]
+		}
+		if r.batches[i].devID > id {
+			break
+		}
+		i++
+	}
+	var spare []ioReq
+	if n < cap(r.batches) {
+		r.batches = r.batches[:n+1]
+		spare = r.batches[n].reqs[:0]
+	} else {
+		r.batches = append(r.batches, diskBatch{})
+	}
+	copy(r.batches[i+1:], r.batches[i:n])
+	r.batches[i] = diskBatch{devID: id, disk: d, reqs: spare}
+	return &r.batches[i]
+}
+
+// insert places q at its SCAN-EDF position.  A request from the same
+// stream already in the batch is replaced — resubmitting in one round
+// stays idempotent, and keeps sid unique so the sort key stays total.
+// The displaced request is returned so a speculative insert (consumeNext)
+// can be rolled back without losing it.
+func (b *diskBatch) insert(q ioReq) (displaced ioReq, replaced bool) {
+	for j := range b.reqs {
+		if b.reqs[j].sid == q.sid {
+			displaced, replaced = b.reqs[j], true
+			copy(b.reqs[j:], b.reqs[j+1:])
+			b.reqs = b.reqs[:len(b.reqs)-1]
+			break
+		}
+	}
+	lo, hi := 0, len(b.reqs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if reqBefore(&b.reqs[mid], &q) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b.reqs = append(b.reqs, ioReq{})
+	copy(b.reqs[lo+1:], b.reqs[lo:])
+	b.reqs[lo] = q
+	return displaced, replaced
+}
+
 // submit queues a request into the given round.  A stream resubmitting
 // in the same round replaces its previous request, so retried reads stay
 // idempotent.
 func (io *IOSched) submit(round int64, q ioReq) {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	if round < io.flushed {
+	if round < io.flushed.Load() {
 		// The round was already serviced (a straggler after a seek or
 		// degrade); the request becomes a demand read at consumption.
 		return
 	}
-	byDev := io.pending[round]
-	if byDev == nil {
-		byDev = make(map[string]map[int64]ioReq)
-		io.pending[round] = byDev
-	}
-	bySid := byDev[q.disk.ID()]
-	if bySid == nil {
-		bySid = make(map[int64]ioReq)
-		byDev[q.disk.ID()] = bySid
-	}
-	bySid[q.sid] = q
+	io.roundFor(round).batchFor(q.disk).insert(q)
 }
 
 // flushBefore services every pending round strictly below round, in
 // ascending order.  The caller's tick barrier guarantees those rounds
 // are complete.
 func (io *IOSched) flushBefore(round int64) {
+	if round <= io.flushed.Load() {
+		// Already serviced: the watermark only grows, so this lock-free
+		// exit is safe — every stream in a tick after the first takes it.
+		return
+	}
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	if round <= io.flushed {
+	if round <= io.flushed.Load() {
 		return
 	}
-	var due []int64
-	for r := range io.pending {
-		if r < round {
-			due = append(due, r)
-		}
-	}
-	io.flushed = round
-	if len(due) == 0 {
-		return
-	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
-	for _, r := range due {
-		byDev := io.pending[r]
-		delete(io.pending, r)
-		devs := make([]string, 0, len(byDev))
-		for id := range byDev {
-			devs = append(devs, id)
-		}
-		sort.Strings(devs)
-		for _, id := range devs {
-			io.serviceLocked(id, byDev[id])
+	io.flushed.Store(round)
+	for len(io.pending) > 0 && io.pending[0].seq < round {
+		r := io.pending[0]
+		n := len(io.pending)
+		copy(io.pending, io.pending[1:])
+		io.pending[n-1] = nil
+		io.pending = io.pending[:n-1]
+		for i := range r.batches {
+			io.serviceLocked(&r.batches[i])
 		}
 		io.stats.Rounds++
 		if io.sink != nil {
 			io.sink.Count("storage.iosched.rounds", 1)
 		}
+		io.putRound(r)
 	}
 }
 
-// serviceLocked prices one disk's batch SCAN-EDF; io.mu is held.
-func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
-	batch := make([]ioReq, 0, len(bySid))
-	for _, q := range bySid {
-		batch = append(batch, q)
+// serviceLocked prices one disk's batch, already in SCAN-EDF order;
+// io.mu is held.
+func (io *IOSched) serviceLocked(b *diskBatch) {
+	batch := b.reqs
+	if len(batch) == 0 {
+		return
 	}
-	sort.Slice(batch, func(i, j int) bool {
-		a, b := batch[i], batch[j]
-		if a.deadline != b.deadline {
-			return a.deadline < b.deadline
-		}
-		if a.track != b.track {
-			return a.track < b.track
-		}
-		if a.sid != b.sid {
-			return a.sid < b.sid
-		}
-		return a.chunk < b.chunk
-	})
-	pos := io.heads[devID]
+	pos := io.heads[b.disk]
 	start := batch[0].now
 	for _, q := range batch {
 		if q.now < start {
@@ -189,8 +365,9 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 	}
 	var busy avtime.WorldTime
 	var misses, charged, saved int64
-	last := batch[len(batch)-1].deadline // SCAN-EDF sorts by deadline, so this is the latest
-	for i, q := range batch {
+	last := batch[len(batch)-1].deadline // SCAN-EDF order, so this is the latest
+	for i := range batch {
+		q := &batch[i]
 		var seek avtime.WorldTime
 		if i == 0 || abs(q.track-pos) > 1 {
 			// A new run: position the head.  Adjacent tracks ride the
@@ -213,10 +390,17 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 		if q.rate > 0 {
 			cost += avtime.WorldTime(q.bytes * int64(avtime.Second) / int64(q.rate))
 		}
-		io.results[q.sid] = ioResult{chunk: q.chunk, cost: cost}
+		if q.slot != nil {
+			q.slot.chunk, q.slot.cost, q.slot.full = q.chunk, cost, true
+		}
+		if io.svcTrace != nil {
+			*io.svcTrace = append(*io.svcTrace, svcEvent{
+				dev: b.devID, sid: q.sid, chunk: q.chunk, track: q.track, seek: seek, cost: cost,
+			})
+		}
 		pos = q.track
 	}
-	io.heads[devID] = pos
+	io.heads[b.disk] = pos
 	// An overrun batch is the round-level pressure signal: the disk was
 	// still busy when its last request's deadline passed, so the round
 	// as scheduled was infeasible — not just one unlucky request late.
@@ -253,38 +437,109 @@ func (io *IOSched) serviceLocked(devID string, bySid map[int64]ioReq) {
 // take consumes the serviced result for the stream's chunk.  A stale
 // result — the stream sought or degraded past what it had prefetched —
 // is discarded so the read falls back to a demand read.
-func (io *IOSched) take(sid int64, chunk int) (ioResult, bool) {
+func (io *IOSched) take(slot *ioSlot, chunk int) (ioResult, bool) {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	res, ok := io.results[sid]
-	if !ok {
-		return ioResult{}, false
-	}
-	delete(io.results, sid)
-	if res.chunk != chunk {
-		return ioResult{}, false
-	}
-	return res, true
+	return io.takeLocked(slot, chunk)
 }
 
-// peek reports whether a serviced result for the stream's chunk is
-// waiting, without consuming it; used so a faulted consumption can
-// retry.
-func (io *IOSched) peek(sid int64, chunk int) (ioResult, bool) {
-	io.mu.Lock()
-	defer io.mu.Unlock()
-	res, ok := io.results[sid]
-	if !ok || res.chunk != chunk {
+func (io *IOSched) takeLocked(slot *ioSlot, chunk int) (ioResult, bool) {
+	if !slot.full {
 		return ioResult{}, false
 	}
-	return res, true
+	slot.full = false
+	if slot.chunk != chunk {
+		return ioResult{}, false
+	}
+	return ioResult{chunk: slot.chunk, cost: slot.cost}, true
+}
+
+// consumeNext is the steady-state read: under one lock it consumes the
+// serviced result for chunk and, when one was there, eagerly queues the
+// stream's follow-on request into round.  The eager queue is what fuses
+// the old take+submit pair into a single critical section; a
+// consumption that then faults hands the pair back through unconsume.
+// next may be nil (end of clip, or nothing to prefetch).
+func (io *IOSched) consumeNext(slot *ioSlot, chunk int, round int64, next *ioReq) (ioResult, bool) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	res, ok := io.takeLocked(slot, chunk)
+	slot.hasDisplaced = false
+	if ok && next != nil && round >= io.flushed.Load() {
+		slot.displaced, slot.hasDisplaced = io.roundFor(round).batchFor(next.disk).insert(*next)
+	}
+	return res, ok
+}
+
+// unconsume undoes a consumeNext whose fault check failed: the result
+// goes back into the slot so a retry re-consumes it, and the eagerly
+// queued follow-on (if any) is retracted — the old scheduler never
+// submitted it until the read succeeded, and the differential harness
+// holds this path to that behavior.  The caller's stream lock
+// serializes it against every other operation on the slot.
+func (io *IOSched) unconsume(slot *ioSlot, res ioResult, round int64, next *ioReq) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	slot.chunk, slot.cost, slot.full = res.chunk, res.cost, true
+	if next == nil {
+		return
+	}
+	restore := slot.hasDisplaced
+	slot.hasDisplaced = false
+	for ri, r := range io.pending {
+		if r.seq != round {
+			continue
+		}
+		for bi := range r.batches {
+			b := &r.batches[bi]
+			if b.disk != next.disk {
+				continue
+			}
+			for j := range b.reqs {
+				if b.reqs[j].sid == next.sid {
+					copy(b.reqs[j:], b.reqs[j+1:])
+					b.reqs = b.reqs[:len(b.reqs)-1]
+					break
+				}
+			}
+			if restore {
+				// The eager queue had replaced an earlier same-stream
+				// request (found by FuzzSCANEDFOrder, seed
+				// e9318929d9b848a3): put it back, the old scheduler
+				// would still hold it.
+				b.insert(slot.displaced)
+			}
+			if len(b.reqs) == 0 {
+				// Shift the batch out, and park its (emptied) request
+				// buffer in the vacated slot: leaving the neighbor's
+				// slice header there would alias a live batch's array
+				// when batchFor later reclaims the truncated region
+				// (found by FuzzSCANEDFOrder, seed 14d7f6ab65a64f66).
+				spare := b.reqs
+				copy(r.batches[bi:], r.batches[bi+1:])
+				last := len(r.batches) - 1
+				r.batches[last] = diskBatch{reqs: spare}
+				r.batches = r.batches[:last]
+			}
+			break
+		}
+		if len(r.batches) == 0 {
+			// The retraction emptied the round; drop it so an empty
+			// round is never counted as serviced.
+			copy(io.pending[ri:], io.pending[ri+1:])
+			io.pending[len(io.pending)-1] = nil
+			io.pending = io.pending[:len(io.pending)-1]
+			io.putRound(r)
+		}
+		return
+	}
 }
 
 // drop discards any serviced result held for the stream (cache hits and
 // closes make prefetched results moot).
-func (io *IOSched) drop(sid int64) {
+func (io *IOSched) drop(slot *ioSlot) {
 	io.mu.Lock()
-	delete(io.results, sid)
+	slot.full = false
 	io.mu.Unlock()
 }
 

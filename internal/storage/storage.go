@@ -56,6 +56,7 @@ type Segment struct {
 	chunkDev  []int    // chunk -> index into stripe
 	chunkOff  []int64  // chunk -> byte offset within its disk's share
 	chunkSize []int64  // chunk -> size in bytes
+	chunkTrck []int    // chunk -> home track, cached once (see buildTrackMap)
 }
 
 // ID returns the segment's identifier.
@@ -350,6 +351,7 @@ type Stream struct {
 	disks  []*device.Disk   // stripe home disks, nil when unstriped
 	shares []media.DataRate // per-disk reservation, sums to rate
 	io     *IOSched         // non-nil under a Seeks or Rounds policy
+	slot   ioSlot           // serviced-result slot, guarded by io.mu
 	rounds bool             // submit/consume through service rounds
 	seeks  bool             // contended pricing: every demand read seeks
 	unit   avtime.WorldTime // playback interval between chunk deadlines
@@ -462,6 +464,13 @@ func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePoli
 					st.mu.Unlock()
 					stream.releaseReservations()
 					return nil, 0, err
+				}
+			}
+			if s.chunkTrck == nil {
+				if stream.disks != nil {
+					s.buildTrackMap(stream.disks)
+				} else if d, isDisk := stream.dev.(*device.Disk); isDisk {
+					s.buildTrackMap([]*device.Disk{d})
 				}
 			}
 			stream.rounds = true
@@ -582,30 +591,41 @@ func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadlin
 		}
 		if s.io != nil {
 			// A hit makes any scheduled result for this stream moot.
-			s.io.drop(s.sid)
+			s.io.drop(&s.slot)
 		}
 		return 0, nil
 	}
 	var t avtime.WorldTime
 	var err error
 	if scheduled {
-		if res, ok := s.io.peek(s.sid, idx); ok {
-			// Consume the round-serviced prefetch.  The home disk's
+		var next ioReq
+		var nextReq *ioReq
+		if s.stageNext(idx, now, deadline, &next) {
+			nextReq = &next
+		}
+		if res, ok := s.io.consumeNext(&s.slot, idx, round, nextReq); ok {
+			// Consume the round-serviced prefetch; the follow-on request
+			// was queued in the same critical section.  The home disk's
 			// fault hook still gets a say: the transfer happened on
-			// simulated hardware.  On a fault the result stays pending
-			// so a retry re-consumes it.
+			// simulated hardware.  On a fault the result goes back and
+			// the follow-on is retracted, so a retry re-consumes it;
+			// s.mu makes the pair atomic with respect to every other
+			// operation on this stream.
 			var extra avtime.WorldTime
-			if f, isF := s.chunkDevice(idx).(device.Faultable); isF {
+			if s.disks != nil && s.seg.chunkDev != nil && idx < len(s.seg.chunkDev) {
+				// Devirtualized fast path: striped homes are always disks.
+				extra, err = s.disks[s.seg.chunkDev[idx]].CheckRead(bytes)
+			} else if f, isF := s.chunkDevice(idx).(device.Faultable); isF {
 				extra, err = f.CheckRead(bytes)
 			}
 			if err != nil {
+				s.io.unconsume(&s.slot, res, round, nextReq)
 				t = extra
 				err = fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.chunkDevice(idx).ID(), err)
 				if s.sink != nil {
 					s.sink.Count("storage.read_faults", 1)
 				}
 			} else {
-				s.io.take(s.sid, idx)
 				s.bytes += bytes
 				t = extra + res.cost
 				if s.sink != nil {
@@ -616,9 +636,9 @@ func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadlin
 			}
 		} else {
 			t, err = s.readChunkLocked(idx, bytes)
-		}
-		if err == nil {
-			s.submitNextLocked(idx, round, now, deadline)
+			if err == nil && nextReq != nil {
+				s.io.submit(round, next)
+			}
 		}
 	} else {
 		t, err = s.readChunkLocked(idx, bytes)
@@ -666,7 +686,10 @@ func (s *Stream) chunkDevice(idx int) device.Device {
 }
 
 // chunkHome resolves the disk and track holding a chunk; ok is false for
-// chunks outside the map or segments without one (jukebox).
+// chunks outside the map or segments without one (jukebox).  The track
+// comes from the segment's cache when one was built (every scheduled
+// open builds it), so the hot submit path pays no per-read geometry
+// math or device lock.
 func (s *Stream) chunkHome(idx int) (*device.Disk, int, bool) {
 	if s.seg.chunkDev == nil || idx >= len(s.seg.chunkDev) {
 		return nil, 0, false
@@ -679,6 +702,9 @@ func (s *Stream) chunkHome(idx int) (*device.Disk, int, bool) {
 		d = dd
 	} else {
 		return nil, 0, false
+	}
+	if s.seg.chunkTrck != nil {
+		return d, s.seg.chunkTrck[idx], true
 	}
 	var base int64
 	if s.seg.base != nil {
@@ -728,17 +754,18 @@ func (s *Stream) readChunkLocked(idx int, bytes int64) (avtime.WorldTime, error)
 	return t, nil
 }
 
-// submitNextLocked queues the chunk after idx into the current round,
-// due one playback unit past the consumed chunk's deadline; the caller
-// holds s.mu.
-func (s *Stream) submitNextLocked(idx int, round int64, now, deadline avtime.WorldTime) {
+// stageNext fills req with the request for the chunk after idx, due one
+// playback unit past the consumed chunk's deadline, reporting false when
+// there is nothing to prefetch (end of clip, unmapped chunk); the caller
+// holds s.mu and decides when the staged request enters a round.
+func (s *Stream) stageNext(idx int, now, deadline avtime.WorldTime, req *ioReq) bool {
 	next := idx + 1
 	if next >= s.seg.frames {
-		return
+		return false
 	}
 	d, track, ok := s.chunkHome(next)
 	if !ok {
-		return
+		return false
 	}
 	bytes := s.seg.chunkSize[next]
 	if s.readFrac > 0 && s.readFrac < 1 {
@@ -747,7 +774,7 @@ func (s *Stream) submitNextLocked(idx int, round int64, now, deadline avtime.Wor
 			bytes = 1
 		}
 	}
-	s.io.submit(round, ioReq{
+	*req = ioReq{
 		sid:      s.sid,
 		chunk:    next,
 		bytes:    bytes,
@@ -756,7 +783,9 @@ func (s *Stream) submitNextLocked(idx int, round int64, now, deadline avtime.Wor
 		rate:     s.rate,
 		now:      now,
 		deadline: deadline + s.unit,
-	})
+		slot:     &s.slot,
+	}
+	return true
 }
 
 // SetPayloadBytes tells the stream the total size of the representation
@@ -806,10 +835,10 @@ func (s *Stream) Close() {
 		return
 	}
 	s.open = false
-	io, sid := s.io, s.sid
+	io := s.io
 	s.mu.Unlock()
 	if io != nil {
-		io.drop(sid)
+		io.drop(&s.slot)
 	}
 	s.releaseReservations()
 }

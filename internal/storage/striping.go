@@ -122,6 +122,30 @@ func (s *Segment) buildChunkMap(width int) error {
 	return nil
 }
 
+// buildTrackMap caches each chunk's home track so the scheduler's
+// submit path never recomputes geometry math (or takes the disk lock)
+// per read.  disks holds the segment's home disks in chunkDev index
+// order.  It is called before the segment becomes visible
+// (PlaceStriped) or under the store lock (first scheduled open), and
+// the cache is immutable once built — the same contract as the chunk
+// map, which means disk geometry must be installed before the first
+// scheduled stream opens (every placement path in the tree already
+// does).
+func (s *Segment) buildTrackMap(disks []*device.Disk) {
+	if s.chunkTrck != nil || s.chunkDev == nil {
+		return
+	}
+	tracks := make([]int, len(s.chunkDev))
+	for i, k := range s.chunkDev {
+		var base int64
+		if s.base != nil {
+			base = s.base[k]
+		}
+		tracks[i] = disks[k].TrackOf(base + s.chunkOff[i])
+	}
+	s.chunkTrck = tracks
+}
+
 // diskRank orders candidate disks for load-aware placement: most free
 // bandwidth first, ties broken by free capacity, then by ID so the
 // choice is deterministic for equal loads.
@@ -216,6 +240,11 @@ func (st *Store) PlaceStriped(v media.Value, rate media.DataRate, width int) (*S
 		}
 	}
 	s.devID = s.stripe[0]
+	homes := make([]*device.Disk, width)
+	for k, c := range chosen {
+		homes[k] = c.d
+	}
+	s.buildTrackMap(homes)
 	st.mu.Lock()
 	s.id = st.nextID
 	st.nextID++

@@ -372,9 +372,10 @@ func TestIOSchedBatchAmortizesSeeks(t *testing.T) {
 	io := newIOSched(nil)
 	// Three streams, adjacent tracks, same deadline: one positioned seek
 	// for the run, the rest ride for free.
+	slots := make([]ioSlot, 3)
 	for sid := int64(0); sid < 3; sid++ {
 		io.submit(0, ioReq{sid: sid, chunk: 5, bytes: 1200, disk: d, track: 4 + int(sid),
-			rate: media.MBPerSecond, now: 0, deadline: avtime.Second})
+			rate: media.MBPerSecond, now: 0, deadline: avtime.Second, slot: &slots[sid]})
 	}
 	io.flushBefore(1)
 	st := io.Stats()
@@ -389,12 +390,12 @@ func TestIOSchedBatchAmortizesSeeks(t *testing.T) {
 	}
 	// Every stream finds its serviced result, and the run's followers
 	// are strictly cheaper than its opener.
-	first, ok := io.take(0, 5)
+	first, ok := io.take(&slots[0], 5)
 	if !ok {
 		t.Fatal("stream 0's result missing")
 	}
 	for sid := int64(1); sid < 3; sid++ {
-		res, ok := io.take(sid, 5)
+		res, ok := io.take(&slots[sid], 5)
 		if !ok {
 			t.Fatalf("stream %d's result missing", sid)
 		}
@@ -412,18 +413,19 @@ func TestIOSchedScanEDFOrder(t *testing.T) {
 	// An urgent request on a far track must be serviced before a relaxed
 	// one near the head: deadline dominates track position.
 	io := newIOSched(nil)
-	io.heads["d"] = 0
+	io.heads[d] = 0
+	slots := make([]ioSlot, 2)
 	io.submit(0, ioReq{sid: 0, chunk: 1, bytes: 1200, disk: d, track: 15,
-		rate: media.MBPerSecond, now: 0, deadline: avtime.Millisecond})
+		rate: media.MBPerSecond, now: 0, deadline: avtime.Millisecond, slot: &slots[0]})
 	io.submit(0, ioReq{sid: 1, chunk: 1, bytes: 1200, disk: d, track: 1,
-		rate: media.MBPerSecond, now: 0, deadline: avtime.Second})
+		rate: media.MBPerSecond, now: 0, deadline: avtime.Second, slot: &slots[1]})
 	io.flushBefore(1)
 	// Head finished at the relaxed request's track — it went last.
-	if io.heads["d"] != 1 {
-		t.Errorf("head at track %d, want 1 (EDF must outrank SCAN)", io.heads["d"])
+	if io.heads[d] != 1 {
+		t.Errorf("head at track %d, want 1 (EDF must outrank SCAN)", io.heads[d])
 	}
-	urgent, _ := io.take(0, 1)
-	relaxed, _ := io.take(1, 1)
+	urgent, _ := io.take(&slots[0], 1)
+	relaxed, _ := io.take(&slots[1], 1)
 	// The urgent stream paid the full 0->15 sweep; the relaxed one paid
 	// the shorter 15->1 return, cheaper than a cold full-span seek.
 	if urgent.cost <= relaxed.cost {
@@ -439,19 +441,20 @@ func TestIOSchedScanEDFOrder(t *testing.T) {
 func TestIOSchedStaleAndStragglerRequests(t *testing.T) {
 	d := device.NewDisk("d", 1_000_000, 8*media.MBPerSecond, 10*avtime.Millisecond)
 	io := newIOSched(nil)
-	io.submit(0, ioReq{sid: 7, chunk: 3, bytes: 1200, disk: d, rate: media.MBPerSecond, deadline: avtime.Second})
+	slots := make([]ioSlot, 2)
+	io.submit(0, ioReq{sid: 7, chunk: 3, bytes: 1200, disk: d, rate: media.MBPerSecond, deadline: avtime.Second, slot: &slots[0]})
 	io.flushBefore(2)
 	// Taking the wrong chunk discards the stale result entirely.
-	if _, ok := io.take(7, 9); ok {
+	if _, ok := io.take(&slots[0], 9); ok {
 		t.Error("stale result consumed for the wrong chunk")
 	}
-	if _, ok := io.take(7, 3); ok {
+	if _, ok := io.take(&slots[0], 3); ok {
 		t.Error("discarded result resurfaced")
 	}
 	// Submissions into an already-flushed round are dropped, so the
 	// consumer falls back to a demand read instead of waiting forever.
-	io.submit(1, ioReq{sid: 8, chunk: 0, bytes: 1200, disk: d, rate: media.MBPerSecond})
-	if _, ok := io.peek(8, 0); ok {
+	io.submit(1, ioReq{sid: 8, chunk: 0, bytes: 1200, disk: d, rate: media.MBPerSecond, slot: &slots[1]})
+	if _, ok := io.take(&slots[1], 0); ok {
 		t.Error("straggler submission into a flushed round was serviced")
 	}
 	if st := io.Stats(); st.Rounds != 1 {
