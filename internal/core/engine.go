@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"runtime/pprof"
-	"sort"
 	"sync"
 
 	"avdb/internal/activity"
@@ -41,6 +40,13 @@ import (
 // restarts so storage round numbers never rewind below the IOSched
 // flush watermark.
 //
+// The step path follows the same allocation-free discipline as the
+// SCAN-EDF scheduler (DESIGN.md §12, §13): the due batch, the retired
+// list and the run-set walk all live in buffers reused step to step,
+// and per-run pprof label contexts are built once at admission — in
+// steady state a step performs zero heap allocations of its own
+// (pinned by TestEngineAllocsPerStep).
+//
 // With overload control enabled (EnableOverloadControl), the engine
 // additionally closes the loop §3.3 opens at admission time: a
 // per-step pressure detector watches deadline misses, SCAN-EDF round
@@ -58,8 +64,18 @@ type Engine struct {
 	running  bool // loop goroutine alive
 	paused   bool
 	stepping bool // a step is executing outside the lock
-	step     int64
+	steps    int64
 	finished int64 // runs retired since open
+
+	// Step-path scratch, reused step to step.  Only the loop goroutine
+	// (or a test driving stepOnce directly) touches these outside the
+	// engine lock.
+	stepBatch   []*engineEntry  // entries due this step
+	retiredBuf  []*engineEntry  // entries finishing this step
+	idScratch   []sched.RunID   // admissionOrderLocked buffer
+	sessScratch []*Session      // degradeCandidates session snapshot
+	candScratch []*Session      // degradeCandidates result buffer
+	baseCtx     context.Context // label-free context restored after a step's ticks
 
 	// overload control; all nil/zero until EnableOverloadControl
 	detector      *sched.OverloadDetector
@@ -71,20 +87,45 @@ type Engine struct {
 	shedRestored  int64           // sweep restores performed
 }
 
-// engineEntry is one admitted playback.
+// engineRun is the slice of activity.GraphRun the engine schedules
+// through.  Narrowing the dependency to an interface keeps the step
+// path testable in isolation: TestEngineAllocsPerStep and
+// BenchmarkEngineStep admit no-op runs so the measured allocations are
+// the engine's own, not the graph executor's.
+type engineRun interface {
+	Graph() *activity.Graph
+	Rate() avtime.Rate
+	Ticks() int
+	Err() error
+	Done() bool
+	NextDue() avtime.WorldTime
+	CommitHorizon() avtime.WorldTime
+	SetRound(int64)
+	Tick() (bool, error)
+	Finish() (*activity.RunStats, error)
+}
+
+// engineEntry is one admitted playback.  The ticks/due/rate fields are
+// the loop-maintained snapshot Sessions() reads under the engine lock:
+// introspection must never call into the GraphRun itself, which the
+// loop may be mid-Tick on outside the lock.
 type engineEntry struct {
-	id         sched.RunID
-	sess       *Session
-	session    string
-	graph      string
-	run        *activity.GraphRun
-	playback   *Playback
-	ticks      int
-	lastStalls int64 // stall episodes at the previous sample
+	id       sched.RunID
+	sess     *Session
+	session  string
+	graph    string
+	run      engineRun
+	playback *Playback
+	labelCtx context.Context // pprof labels, built once at admission
+
+	rate       avtime.Rate      // immutable after Begin; cached for Sessions()
+	ticks      int              // snapshot, written and read under the engine lock
+	due        avtime.WorldTime // snapshot of the next due time, under the engine lock
+	lastStalls int64            // stall episodes at the previous sample (loop only)
 }
 
 func newEngine(db *Database) *Engine {
-	e := &Engine{db: db, entries: make(map[sched.RunID]*engineEntry)}
+	e := &Engine{db: db, entries: make(map[sched.RunID]*engineEntry), baseCtx: context.Background()}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
@@ -121,29 +162,40 @@ func (e *Engine) Pressure() sched.PressureLevel {
 
 // admitCheck is the shed gate Session.Start passes through: while the
 // detector reads Overloaded, new admissions are rejected with an
-// *OverloadError carrying a virtual-time retry hint.
+// *OverloadError carrying a virtual-time retry hint.  The level check,
+// the shed count and the retry-hint clock read form one critical
+// section: a concurrent EnableOverloadControl (detector swap) or level
+// transition can no longer interleave between them, so a counted shed
+// always reflects the detector that was actually consulted and the
+// hint is computed from that same detector's policy.
 func (e *Engine) admitCheck() error {
 	e.mu.Lock()
 	det := e.detector
-	e.mu.Unlock()
 	if det == nil || det.Level() != sched.PressureOverloaded {
+		e.mu.Unlock()
 		return nil
 	}
-	e.mu.Lock()
 	e.shedRejected++
+	retry := e.db.clock.Now() + det.Policy().RetryAfter
 	e.mu.Unlock()
 	if sink := e.db.sink(); sink != nil {
 		sink.Count("engine.shed.rejected", 1)
 	}
-	return &OverloadError{RetryAfter: e.db.clock.Now() + det.Policy().RetryAfter}
+	return &OverloadError{RetryAfter: retry}
 }
 
 // admit enters a begun run into the run set and wakes (or starts) the
 // loop.  Called by Session.StartAt with the graph already started and
-// the playback handle registered on the session.
-func (e *Engine) admit(s *Session, run *activity.GraphRun, p *Playback) {
+// the playback handle registered on the session.  The pprof label
+// context is built here, once per admission, so the step path never
+// constructs label sets per tick.
+func (e *Engine) admit(s *Session, run engineRun, p *Playback) {
+	labels := pprof.Labels("avdb_session", s.ID(), "avdb_graph", run.Graph().Name())
+	ctx := pprof.WithLabels(context.Background(), labels)
+	sink := e.db.sink()
 	e.mu.Lock()
-	id := e.set.Admit(run.NextDue())
+	due := run.NextDue()
+	id := e.set.Admit(due)
 	e.entries[id] = &engineEntry{
 		id:       id,
 		sess:     s,
@@ -151,17 +203,22 @@ func (e *Engine) admit(s *Session, run *activity.GraphRun, p *Playback) {
 		graph:    run.Graph().Name(),
 		run:      run,
 		playback: p,
+		labelCtx: ctx,
+		rate:     run.Rate(),
+		due:      due,
 	}
-	active := int64(len(e.entries))
+	if sink != nil {
+		// Published inside the critical section that changed the count:
+		// an interleaved admit/retire pair can no longer leave the gauge
+		// at a stale value (the last publish is the last count change).
+		sink.SetGauge("engine.sessions.active", int64(len(e.entries)))
+	}
 	if !e.running {
 		e.running = true
 		go e.loop()
 	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
-	if sink := e.db.sink(); sink != nil {
-		sink.SetGauge("engine.sessions.active", active)
-	}
 }
 
 // Pause holds the engine between steps: admitted runs stay in the set
@@ -186,127 +243,148 @@ func (e *Engine) Resume() {
 	e.mu.Unlock()
 }
 
-// loop is the engine goroutine: one iteration per step, exiting when
-// the run set drains.  Ticks execute outside the engine lock so event
-// handlers running on this goroutine may call back into the database
-// (start another session, renegotiate quality) without deadlocking.
+// loop is the engine goroutine: one step per iteration, exiting when
+// the run set drains.
 func (e *Engine) loop() {
-	for {
-		e.mu.Lock()
-		for e.paused {
-			e.cond.Wait()
-		}
-		if e.set.Len() == 0 {
-			e.running = false
-			e.cond.Broadcast()
-			e.mu.Unlock()
-			return
-		}
-		due, ids, _ := e.set.DueBatch()
-		step := e.step
-		e.step++
-		batch := make([]*engineEntry, 0, len(ids))
-		for _, id := range ids {
-			batch = append(batch, e.entries[id])
-		}
-		det := e.detector
-		e.stepping = true
-		e.mu.Unlock()
+	for e.stepOnce() {
+	}
+}
 
-		sink := e.db.sink()
-		if sink != nil {
-			// Lag is how far the committed clock trails the step's due
-			// time; it goes positive when a finishing run's drain pushed
-			// the clock past other runs' schedules.
-			lag := e.db.clock.Now() - due
-			if lag < 0 {
-				lag = 0
-			}
-			sink.Observe("engine.tick.lag", int64(lag))
-		}
-
-		// Phase 1 — tick every due run, in admission order, all tagged
-		// with this step's service round so the store batches their chunk
-		// requests into the same per-disk SCAN-EDF rounds.
-		var retired []*engineEntry
-		var stallDelta int64
-		for _, en := range batch {
-			en.run.SetRound(step)
-			var done bool
-			labels := pprof.Labels("avdb_session", en.session, "avdb_graph", en.graph)
-			pprof.Do(context.Background(), labels, func(context.Context) {
-				done, _ = en.run.Tick()
-			})
-			en.ticks = en.run.Ticks()
-			if det != nil {
-				eps := en.sess.stallEpisodes()
-				stallDelta += eps - en.lastStalls
-				en.lastStalls = eps
-			}
-			if done || en.run.Err() != nil {
-				retired = append(retired, en)
-			}
-		}
-
-		// Phase 2 — one clock commit for the whole step: the minimum
-		// commit horizon across runs that ticked cleanly.  Runs admitted
-		// but not yet ticked contribute their start time, which the clock
-		// already covers, so they never drag it backwards — AdvanceTo is
-		// monotone.
-		horizon := avtime.WorldTime(-1)
-		e.mu.Lock()
-		for _, en := range e.entries {
-			if en.run.Err() != nil {
-				continue
-			}
-			if h := en.run.CommitHorizon(); horizon < 0 || h < horizon {
-				horizon = h
-			}
-		}
-		for _, en := range batch {
-			if en.run.Err() == nil && !en.run.Done() {
-				e.set.Reschedule(en.id, en.run.NextDue())
-			}
-		}
-		e.mu.Unlock()
-		if horizon >= 0 {
-			e.db.clock.AdvanceTo(horizon)
-		}
-		if sink != nil {
-			sink.Count("engine.steps", 1)
-		}
-
-		// Phase 3 — retire finished runs: drain their gates, close spans,
-		// stop nodes, complete the Playback so waiters unblock.
-		for _, en := range retired {
-			stats, err := en.run.Finish()
-			e.mu.Lock()
-			e.set.Remove(en.id)
-			delete(e.entries, en.id)
-			e.finished++
-			active := int64(len(e.entries))
-			e.mu.Unlock()
-			en.playback.complete(stats, err)
-			if sink != nil {
-				sink.Count("engine.runs.finished", 1)
-				sink.SetGauge("engine.sessions.active", active)
-			}
-		}
-
-		// Phase 4 — overload control: feed the detector this step's load
-		// deltas and, on window boundaries, run the degradation or
-		// restore sweep.  Runs outside the engine lock so the sweep may
-		// take session locks (the lock order everywhere is session, then
-		// engine).
-		if det != nil {
-			e.overloadStep(det, sink, stallDelta)
-		}
-
-		e.mu.Lock()
-		e.stepping = false
+// stepOnce executes one engine step and returns false when the run set
+// has drained (the loop exits; a later admit restarts it).  It blocks
+// while the engine is paused.  Ticks execute outside the engine lock so
+// event handlers running on this goroutine may call back into the
+// database (start another session, renegotiate quality) without
+// deadlocking.
+func (e *Engine) stepOnce() bool {
+	e.mu.Lock()
+	for e.paused {
+		e.cond.Wait()
+	}
+	if e.set.Len() == 0 {
+		e.running = false
 		e.cond.Broadcast()
 		e.mu.Unlock()
+		return false
 	}
+	due, ids, _ := e.set.DueBatch()
+	step := e.steps
+	e.steps++
+	// The DueBatch buffer is owned by the run set and only valid until
+	// its next call; resolve ids to entries into the engine's own
+	// reusable batch buffer before dropping the lock.
+	e.stepBatch = e.stepBatch[:0]
+	for _, id := range ids {
+		e.stepBatch = append(e.stepBatch, e.entries[id])
+	}
+	batch := e.stepBatch
+	det := e.detector
+	e.stepping = true
+	e.mu.Unlock()
+
+	sink := e.db.sink()
+	if sink != nil {
+		// Lag is how far the committed clock trails the step's due
+		// time; it goes positive when a finishing run's drain pushed
+		// the clock past other runs' schedules.
+		lag := e.db.clock.Now() - due
+		if lag < 0 {
+			lag = 0
+		}
+		sink.Observe("engine.tick.lag", int64(lag))
+	}
+
+	// Phase 1 — tick every due run, in admission order, all tagged
+	// with this step's service round so the store batches their chunk
+	// requests into the same per-disk SCAN-EDF rounds.  Each run ticks
+	// under its admission-time pprof label context; the goroutine's
+	// labels are cleared once at the end of the batch.
+	e.retiredBuf = e.retiredBuf[:0]
+	var stallDelta int64
+	for _, en := range batch {
+		en.run.SetRound(step)
+		pprof.SetGoroutineLabels(en.labelCtx)
+		done, _ := en.run.Tick()
+		if det != nil {
+			eps := en.sess.stallEpisodes()
+			stallDelta += eps - en.lastStalls
+			en.lastStalls = eps
+		}
+		if done || en.run.Err() != nil {
+			e.retiredBuf = append(e.retiredBuf, en)
+		}
+	}
+	if len(batch) > 0 {
+		pprof.SetGoroutineLabels(e.baseCtx)
+	}
+
+	// Phase 2 — one clock commit for the whole step: the minimum
+	// commit horizon across runs that ticked cleanly.  Runs admitted
+	// but not yet ticked contribute their start time, which the clock
+	// already covers, so they never drag it backwards — AdvanceTo is
+	// monotone.
+	horizon := avtime.WorldTime(-1)
+	e.mu.Lock()
+	for _, en := range e.entries {
+		if en.run.Err() != nil {
+			continue
+		}
+		if h := en.run.CommitHorizon(); horizon < 0 || h < horizon {
+			horizon = h
+		}
+	}
+	for _, en := range batch {
+		// Refresh the introspection snapshot under the lock: Sessions()
+		// reads these fields instead of calling into the run, which
+		// this goroutine mutates outside the lock.
+		en.ticks = en.run.Ticks()
+		en.due = en.run.NextDue()
+		if en.run.Err() == nil && !en.run.Done() {
+			e.set.Reschedule(en.id, en.due)
+		}
+	}
+	e.mu.Unlock()
+	if horizon >= 0 {
+		e.db.clock.AdvanceTo(horizon)
+	}
+	if sink != nil {
+		sink.Count("engine.steps", 1)
+	}
+
+	// Phase 3 — retire finished runs: drain their gates, close spans,
+	// stop nodes, complete the Playback so waiters unblock.
+	for _, en := range e.retiredBuf {
+		stats, err := en.run.Finish()
+		e.mu.Lock()
+		e.set.Remove(en.id)
+		delete(e.entries, en.id)
+		e.finished++
+		if sink != nil {
+			// Under the lock for the same reason admit publishes under
+			// it: the gauge sequence must match the count sequence.
+			sink.SetGauge("engine.sessions.active", int64(len(e.entries)))
+		}
+		e.mu.Unlock()
+		en.playback.complete(stats, err)
+		if sink != nil {
+			sink.Count("engine.runs.finished", 1)
+		}
+	}
+
+	// Phase 4 — overload control: feed the detector this step's load
+	// deltas and, on window boundaries, run the degradation or
+	// restore sweep.  Runs outside the engine lock so the sweep may
+	// take session locks (the lock order everywhere is session, then
+	// engine).
+	if det != nil {
+		e.overloadStep(det, sink, stallDelta)
+	}
+
+	e.mu.Lock()
+	e.stepping = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return true
 }
 
 // overloadStep samples the per-step load deltas, feeds the detector,
@@ -359,25 +437,34 @@ func (e *Engine) overloadStep(det *sched.OverloadDetector, sink obs.Sink, stallD
 
 // degradeCandidates lists sessions with an armed, unfired degradation
 // path, lowest priority first, admission order within a class.  Session
-// locks are taken only after the engine lock is dropped.
+// locks are taken only after the engine lock is dropped.  The session
+// and candidate buffers are engine scratch reused sweep to sweep; only
+// the loop goroutine calls this.
 func (e *Engine) degradeCandidates() []*Session {
 	e.mu.Lock()
-	sessions := make([]*Session, 0, len(e.entries))
+	sessions := e.sessScratch[:0]
 	for _, id := range e.admissionOrderLocked() {
 		if en := e.entries[id]; en.sess != nil {
 			sessions = append(sessions, en.sess)
 		}
 	}
+	e.sessScratch = sessions
 	e.mu.Unlock()
-	cands := make([]*Session, 0, len(sessions))
+	cands := e.candScratch[:0]
 	for _, s := range sessions {
 		if s.CanDegrade() {
 			cands = append(cands, s)
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		return cands[i].Priority() < cands[j].Priority()
-	})
+	// Stable insertion sort by priority (shift only while strictly
+	// lower), preserving admission order within a class without a
+	// sort.SliceStable closure allocation.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].Priority() < cands[j-1].Priority(); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	e.candScratch = cands
 	return cands
 }
 
@@ -469,44 +556,49 @@ type EngineSession struct {
 	Degraded bool             // running its fallback quality
 }
 
-// Sessions lists the active engine entries in admission order.
+// Sessions lists the active engine entries in admission order.  All
+// run-derived fields come from the loop-maintained snapshot read under
+// the engine lock — never from the GraphRun itself, which the loop may
+// be mid-Tick on.
 func (e *Engine) Sessions() []EngineSession {
 	e.mu.Lock()
-	entries := make([]*engineEntry, 0, len(e.entries))
+	out := make([]EngineSession, 0, len(e.entries))
+	sessions := make([]*Session, 0, len(e.entries))
 	// Walk the run set rather than the map so the order is admission
 	// order, not map order.
 	for _, id := range e.admissionOrderLocked() {
-		entries = append(entries, e.entries[id])
+		en := e.entries[id]
+		state := "running"
+		if en.ticks == 0 {
+			state = "admitted"
+		}
+		out = append(out, EngineSession{
+			Session: en.session,
+			Graph:   en.graph,
+			Rate:    en.rate,
+			Ticks:   en.ticks,
+			Due:     en.due,
+			State:   state,
+		})
+		sessions = append(sessions, en.sess)
 	}
 	e.mu.Unlock()
 	// Session locks are taken after the engine lock is dropped; the
 	// lock order everywhere is session, then engine.
-	out := make([]EngineSession, 0, len(entries))
-	for _, en := range entries {
-		state := "running"
-		if en.run.Ticks() == 0 {
-			state = "admitted"
+	for i, s := range sessions {
+		if s != nil {
+			out[i].Priority = s.Priority()
+			out[i].Degraded = s.Degraded()
 		}
-		es := EngineSession{
-			Session: en.session,
-			Graph:   en.graph,
-			Rate:    en.run.Rate(),
-			Ticks:   en.run.Ticks(),
-			Due:     en.run.NextDue(),
-			State:   state,
-		}
-		if en.sess != nil {
-			es.Priority = en.sess.Priority()
-			es.Degraded = en.sess.Degraded()
-		}
-		out = append(out, es)
 	}
 	return out
 }
 
-// admissionOrderLocked returns the active run ids in admission order.
+// admissionOrderLocked returns the active run ids in admission order,
+// in a buffer reused call to call (callers hold the engine lock and
+// consume the slice before releasing it).
 func (e *Engine) admissionOrderLocked() []sched.RunID {
-	ids := make([]sched.RunID, 0, len(e.entries))
+	ids := e.idScratch[:0]
 	for id := range e.entries {
 		ids = append(ids, id)
 	}
@@ -517,6 +609,7 @@ func (e *Engine) admissionOrderLocked() []sched.RunID {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
+	e.idScratch = ids
 	return ids
 }
 
@@ -543,7 +636,7 @@ func (e *Engine) Stats() EngineStats {
 	defer e.mu.Unlock()
 	st := EngineStats{
 		Active:   len(e.entries),
-		Steps:    e.step,
+		Steps:    e.steps,
 		Finished: e.finished,
 		Paused:   e.paused,
 	}

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"avdb/internal/avtime"
 )
 
@@ -30,6 +28,11 @@ type RunSet struct {
 	next RunID
 	heap []runSetEntry // binary min-heap on (due, id)
 	pos  map[RunID]int // id -> index in heap
+
+	// DueBatch scratch, reused call to call so the engine's step path
+	// allocates nothing in steady state.
+	ids   []RunID // result buffer; contents valid until the next DueBatch
+	stack []int   // pruned-walk worklist
 }
 
 type runSetEntry struct {
@@ -131,6 +134,11 @@ func (s *RunSet) Len() int { return len(s.heap) }
 // is empty.  The walk is pruned at the first entry past the minimum on
 // each heap path, so the cost is proportional to the batch, not the
 // set.
+//
+// The returned slice is a buffer owned by the set, valid only until the
+// next DueBatch call; callers that keep the batch across calls must
+// copy it.  Admit/Reschedule/Remove never touch the buffer, so the
+// engine's pop-tick-reschedule step may iterate it freely.
 func (s *RunSet) DueBatch() (due avtime.WorldTime, ids []RunID, ok bool) {
 	if len(s.heap) == 0 {
 		return 0, nil, false
@@ -138,16 +146,24 @@ func (s *RunSet) DueBatch() (due avtime.WorldTime, ids []RunID, ok bool) {
 	due = s.heap[0].due
 	// Collect every entry at the minimum due: a subtree whose root is
 	// past the minimum cannot contain one, by the heap property.
-	stack := []int{0}
-	for len(stack) > 0 {
-		i := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	s.ids = s.ids[:0]
+	s.stack = append(s.stack[:0], 0)
+	for len(s.stack) > 0 {
+		i := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
 		if i >= len(s.heap) || s.heap[i].due != due {
 			continue
 		}
-		ids = append(ids, s.heap[i].id)
-		stack = append(stack, 2*i+1, 2*i+2)
+		s.ids = append(s.ids, s.heap[i].id)
+		s.stack = append(s.stack, 2*i+1, 2*i+2)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return due, ids, true
+	// The walk visits heap order, not id order; an insertion sort over
+	// the (small) batch restores admission order without the per-call
+	// closure allocation sort.Slice would cost.
+	for i := 1; i < len(s.ids); i++ {
+		for j := i; j > 0 && s.ids[j] < s.ids[j-1]; j-- {
+			s.ids[j], s.ids[j-1] = s.ids[j-1], s.ids[j]
+		}
+	}
+	return due, s.ids, true
 }

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"avdb/internal/avtime"
+)
+
+// runset_property_test.go is the PR 8 companion to the linear-scan
+// equivalence test: where TestRunSetHeapMatchesLinearScan checks the
+// heap's *answers*, this test checks its *structure* after every single
+// operation — the heap ordering invariant and the id→index map that
+// makes Reschedule/Remove O(log n) — and that DueBatch's reused result
+// buffer never leaks state between calls.
+
+// checkRunSetInvariants asserts the structural invariants the buffer-
+// reusing implementation must preserve after any operation.
+func checkRunSetInvariants(t *testing.T, s *RunSet, seed int64, step int) {
+	t.Helper()
+	// Heap property: no child orders before its parent.
+	for i := 1; i < len(s.heap); i++ {
+		parent := (i - 1) / 2
+		if s.less(i, parent) {
+			t.Fatalf("seed %d step %d: heap invariant broken at %d (parent %d): %+v < %+v",
+				seed, step, i, parent, s.heap[i], s.heap[parent])
+		}
+	}
+	// pos map consistency: exactly one index per live id, and it points
+	// at the entry carrying that id.
+	if s.pos != nil && len(s.pos) != len(s.heap) {
+		t.Fatalf("seed %d step %d: pos has %d entries, heap has %d", seed, step, len(s.pos), len(s.heap))
+	}
+	for i, e := range s.heap {
+		if j, ok := s.pos[e.id]; !ok || j != i {
+			t.Fatalf("seed %d step %d: pos[%v] = %d,%v, heap index is %d", seed, step, e.id, j, ok, i)
+		}
+	}
+}
+
+// TestRunSetPropertyOps drives randomized Admit/Reschedule/Remove/
+// DueBatch sequences against the linear-scan reference, checking the
+// structural invariants and the batch answer after every op.  DueBatch
+// is called twice in a row at each check: with the result buffer reused
+// across calls, the second answer must be byte-identical to the first,
+// and a batch captured before a mutation must not be consulted after it
+// (the test copies, as the documented contract requires).
+func TestRunSetPropertyOps(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29, 71, 2026} {
+		rng := rand.New(rand.NewSource(seed))
+		var heap RunSet
+		var linear linearRunSet
+		var live []RunID
+
+		due := func() avtime.WorldTime {
+			return avtime.WorldTime(rng.Intn(6)) * 10 * avtime.Millisecond
+		}
+		check := func(step int) {
+			checkRunSetInvariants(t, &heap, seed, step)
+			hd, hids, hok := heap.DueBatch()
+			// Copy before calling again: the second call overwrites the
+			// shared buffer.
+			first := append([]RunID(nil), hids...)
+			hd2, hids2, hok2 := heap.DueBatch()
+			if hok != hok2 || hd != hd2 || len(first) != len(hids2) {
+				t.Fatalf("seed %d step %d: DueBatch not idempotent: (%v,%v,%v) then (%v,%v,%v)",
+					seed, step, hd, first, hok, hd2, hids2, hok2)
+			}
+			for i := range first {
+				if first[i] != hids2[i] {
+					t.Fatalf("seed %d step %d: reused buffer corrupted batch: %v vs %v", seed, step, first, hids2)
+				}
+			}
+			ld, lids, lok := linear.DueBatch()
+			if hok != lok || hd != ld || len(first) != len(lids) {
+				t.Fatalf("seed %d step %d: heap batch (%v,%v,%v) != linear (%v,%v,%v)",
+					seed, step, hd, first, hok, ld, lids, lok)
+			}
+			for i := range first {
+				if first[i] != lids[i] {
+					t.Fatalf("seed %d step %d: batch order diverged: %v vs %v", seed, step, first, lids)
+				}
+			}
+			if heap.Len() != len(linear.entries) {
+				t.Fatalf("seed %d step %d: Len %d != %d", seed, step, heap.Len(), len(linear.entries))
+			}
+		}
+
+		for step := 0; step < 3000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4 || len(live) == 0: // admit
+				d := due()
+				hid := heap.Admit(d)
+				lid := linear.Admit(d)
+				if hid != lid {
+					t.Fatalf("seed %d step %d: Admit ids diverge: %v != %v", seed, step, hid, lid)
+				}
+				live = append(live, hid)
+			case op < 6: // reschedule a random live run
+				id := live[rng.Intn(len(live))]
+				d := due()
+				heap.Reschedule(id, d)
+				linear.Reschedule(id, d)
+			case op < 8: // remove a random live run
+				i := rng.Intn(len(live))
+				id := live[i]
+				heap.Remove(id)
+				linear.Remove(id)
+				live = append(live[:i], live[i+1:]...)
+			default: // the engine's step: pop the batch, reschedule each member
+				_, ids, ok := heap.DueBatch()
+				if ok {
+					// The batch buffer is owned by the set; Reschedule never
+					// touches it, so iterating while rescheduling is the
+					// engine's documented usage.
+					for _, id := range ids {
+						d := due()
+						heap.Reschedule(id, d)
+						linear.Reschedule(id, d)
+					}
+				}
+			}
+			check(step)
+		}
+	}
+}

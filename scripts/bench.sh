@@ -22,6 +22,11 @@
 #         as a gated ratio) plus BenchmarkIOSchedFlush (per-round
 #         scheduler cost; warm-pool arms are gated and must report
 #         0 allocs/op).
+#   pr8   allocation-free engine step path: BenchmarkEngineStep over
+#         no-op runs isolates the engine's own per-step bookkeeping
+#         (run-set heap, batch resolution, label switch, snapshot
+#         refresh, clock commit) at narrow and wide session counts;
+#         both arms are gated ns/op and must report 0 allocs/op.
 #
 #   gate  trajectory gate: re-measure every committed BENCH_*.json tag
 #         and fail (via cmd/benchgate) when any host ns/op metric
@@ -275,6 +280,36 @@ pr7)
     printf "}\n"
   }' > "$out"
   ;;
+pr8)
+  # The engine-step benchmark runs its own iteration count like pr7's
+  # flush arms: the warm steady state must amortize first-use buffer
+  # growth to a reported 0 allocs/op even under a short BENCHTIME.
+  bench_out=$(go test -run '^$' -bench 'BenchmarkEngineStep' -benchmem -benchtime "${STEP_BENCHTIME:-2000x}" -count "${BENCHCOUNT:-1}" ./internal/core/)
+  echo "$bench_out"
+  narrow=$(echo "$bench_out" | awk '/BenchmarkEngineStep\/narrow-4/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  wide=$(echo "$bench_out" | awk '/BenchmarkEngineStep\/wide-256/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  na=$(echo "$bench_out" | awk '/BenchmarkEngineStep\/narrow-4/ {print $7+0; exit}')
+  wa=$(echo "$bench_out" | awk '/BenchmarkEngineStep\/wide-256/ {print $7+0; exit}')
+  if [ -z "$narrow" ] || [ -z "$wide" ]; then
+    echo "bench: could not parse BenchmarkEngineStep output" >&2
+    exit 1
+  fi
+  if [ "$na" != "0" ] || [ "$wa" != "0" ]; then
+    echo "bench: engine step arms allocate (narrow=$na wide=$wa allocs/op), want 0" >&2
+    exit 1
+  fi
+  awk -v narrow="$narrow" -v wide="$wide" -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkEngineStep\",\n"
+    printf "  \"workload\": {\"runs\": \"no-op engineRun fakes\", \"narrow_sessions\": 4, \"wide_sessions\": 256, \"batch\": \"all sessions due every step\"},\n"
+    printf "  \"host_ns_per_op\": {\"engine_step_narrow_4\": %d, \"engine_step_wide_256\": %d},\n", narrow, wide
+    printf "  \"allocs_per_op\": {\"engine_step_narrow_4\": 0, \"engine_step_wide_256\": 0},\n"
+    printf "  \"per_session_ns\": {\"wide_256\": %.1f},\n", wide / 256
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
 gate)
   # Trajectory gate: every committed baseline is re-measured on this
   # host and compared metric-by-metric.  Fresh measurements go to a
@@ -304,7 +339,7 @@ gate)
   exit $status
   ;;
 *)
-  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, gate)" >&2
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, pr8, gate)" >&2
   exit 2
   ;;
 esac
