@@ -23,6 +23,10 @@
 //	avbench -exp overload -sessions 4
 //	                         # engine overload control: priority-ordered
 //	                         # degrade sweeps and load shedding vs thrash
+//	avbench -exp zipf -sessions 1000
+//	                         # sharded engine: Zipf hot-clip/cold-tail
+//	                         # tenancy rerun with EngineWorkers 1/2/4,
+//	                         # checked byte-identical to serial
 package main
 
 import (
@@ -163,6 +167,13 @@ func runners(metrics, trace bool, workers, width, sessions int) []runner {
 		}},
 		{"overload", "engine overload control: degrade sweeps + load shedding vs thrash", func(frames int) (fmt.Stringer, error) {
 			return experiment.Overload(frames, sessions)
+		}},
+		{"zipf", "sharded engine: Zipf tenancy swept over EngineWorkers 1/2/4", func(frames int) (fmt.Stringer, error) {
+			n := sessions
+			if n < 12 { // the experiment needs at least one session per clip
+				n = 96
+			}
+			return experiment.ZipfTenancy(frames, n)
 		}},
 	}
 }

@@ -70,6 +70,9 @@ func main() {
 	}
 }
 
+// sessionsBuf is the retained listing buffer for the sessions command.
+var sessionsBuf []core.EngineSession
+
 func execute(db *core.Database, line string) error {
 	switch {
 	case line == "help":
@@ -81,13 +84,31 @@ func execute(db *core.Database, line string) error {
   devices                         list platform devices
   similar <oid>                   rank newscasts by video similarity (QBPE)
   trace <oid>                     play an object's videoTrack, print the span tree
-  sessions                        list playbacks active on the stream engine
+  sessions [-top N]               list playbacks active on the stream engine
+                                  (-top caps the listing, admission order)
   stats                           print the database's metric registry
   help | quit
 `)
-	case line == "sessions":
+	case line == "sessions" || strings.HasPrefix(line, "sessions "):
+		top := 0
+		if rest := strings.TrimSpace(strings.TrimPrefix(line, "sessions")); rest != "" {
+			fields := strings.Fields(rest)
+			n, err := 0, error(nil)
+			if len(fields) == 2 && fields[0] == "-top" {
+				n, err = strconv.Atoi(fields[1])
+			} else {
+				err = fmt.Errorf("bad arguments")
+			}
+			if err != nil || n < 1 {
+				return fmt.Errorf("usage: sessions [-top N] (N >= 1)")
+			}
+			top = n
+		}
 		eng := db.Engine()
-		list := eng.Sessions()
+		// The buffer is retained across commands: at thousands of active
+		// playbacks a capped listing stays allocation-light.
+		sessionsBuf = eng.SessionsAppend(sessionsBuf[:0], top)
+		list := sessionsBuf
 		if len(list) == 0 {
 			fmt.Println("  no active playbacks")
 		} else {
@@ -103,6 +124,9 @@ func execute(db *core.Database, line string) error {
 			}
 		}
 		st := eng.Stats()
+		if top > 0 && len(list) < st.Active {
+			fmt.Printf("  ... showing first %d of %d\n", len(list), st.Active)
+		}
 		paused := ""
 		if st.Paused {
 			paused = ", paused"

@@ -76,6 +76,12 @@ type Config struct {
 	// one forces serial execution.  Sessions may override per stream
 	// with Session.SetWorkers.
 	Workers int
+	// EngineWorkers bounds the engine's session-stepping pool: runs due
+	// on the same step are partitioned into shards and ticked on up to
+	// this many goroutines, with results merged in admission order at
+	// the commit barrier so any value produces byte-identical output.
+	// Zero or one keeps the engine serial.  See also Engine.SetWorkers.
+	EngineWorkers int
 	// Cache configures per-stream chunk caching and lookahead
 	// prefetching in the media store; the zero value disables it.
 	Cache storage.CachePolicy
@@ -158,6 +164,7 @@ func Open(cfg Config) (*Database, error) {
 	db.mediaSt.SetStriping(cfg.Striping)
 	db.engine = query.NewEngine(db.schema, db.objects)
 	db.runEngine = newEngine(db)
+	db.runEngine.SetWorkers(cfg.EngineWorkers)
 	return db, nil
 }
 

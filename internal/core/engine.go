@@ -40,6 +40,23 @@ import (
 // restarts so storage round numbers never rewind below the IOSched
 // flush watermark.
 //
+// With EngineWorkers > 1 the tick phase itself fans out (DESIGN.md
+// §14): admitted runs are partitioned into engineShards session shards
+// (keyed by stripe group when striped, round-robin otherwise), each
+// step hands the due batch's shard slices to a bounded worker pool, and
+// the commit barrier merges results back in admission order.  Runs tick
+// on disjoint per-run state; every shared structure they touch
+// mid-tick (SCAN-EDF rounds, device fault hooks, link counters, the
+// metrics registry) is either lock-protected and order-independent or
+// read-only, and per-run telemetry is buffered in a private obs.Stage
+// replayed in admission order at the barrier — so any worker count
+// stays byte-identical to serial, the cross-session restatement of the
+// wavefront executor's guarantee.  Sessions admitted from inside event
+// handlers during a parallel tick keep working but fall outside the
+// byte-identity guarantee (admission order then depends on worker
+// interleaving), as do probabilistic fault hooks shared by sessions in
+// different shards (their RNG draw order follows service order).
+//
 // The step path follows the same allocation-free discipline as the
 // SCAN-EDF scheduler (DESIGN.md §12, §13): the due batch, the retired
 // list and the run-set walk all live in buffers reused step to step,
@@ -59,23 +76,32 @@ type Engine struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	set      sched.RunSet
+	set      *sched.ShardedRunSet
 	entries  map[sched.RunID]*engineEntry
-	running  bool // loop goroutine alive
+	admitted []sched.RunID // active ids, admission order (ids are monotonic)
+	running  bool          // loop goroutine alive
 	paused   bool
 	stepping bool // a step is executing outside the lock
 	steps    int64
 	finished int64 // runs retired since open
+	workers  int   // tick-phase pool size; <= 1 steps serially
+	rrShard  int   // round-robin cursor for unkeyed admissions
+
+	// Worker pool, built lazily at the first parallel step and torn
+	// down when the run set drains (or SetWorkers resizes it).
+	workCh   chan engineShardJob
+	poolSize int // goroutines the live pool was built with
+	stepWG   sync.WaitGroup
 
 	// Step-path scratch, reused step to step.  Only the loop goroutine
 	// (or a test driving stepOnce directly) touches these outside the
 	// engine lock.
-	stepBatch   []*engineEntry  // entries due this step
-	retiredBuf  []*engineEntry  // entries finishing this step
-	idScratch   []sched.RunID   // admissionOrderLocked buffer
-	sessScratch []*Session      // degradeCandidates session snapshot
-	candScratch []*Session      // degradeCandidates result buffer
-	baseCtx     context.Context // label-free context restored after a step's ticks
+	stepBatch   []*engineEntry   // entries due this step, admission order
+	shardBatch  [][]*engineEntry // the same entries sliced by shard
+	retiredBuf  []*engineEntry   // entries finishing this step
+	sessScratch []*Session       // degradeCandidates session snapshot
+	candScratch []*Session       // degradeCandidates result buffer
+	baseCtx     context.Context  // label-free context restored after a step's ticks
 
 	// overload control; all nil/zero until EnableOverloadControl
 	detector      *sched.OverloadDetector
@@ -101,8 +127,23 @@ type engineRun interface {
 	NextDue() avtime.WorldTime
 	CommitHorizon() avtime.WorldTime
 	SetRound(int64)
+	SwapObs(obs.Sink) obs.Sink
 	Tick() (bool, error)
 	Finish() (*activity.RunStats, error)
+}
+
+// engineShards is the fixed shard count runs are partitioned over.
+// Decoupling it from the worker count keeps shard assignment stable
+// across SetWorkers calls: workers pull shard jobs from a channel, so
+// any pool size serves any shard population.
+const engineShards = 16
+
+// engineShardJob asks a pool worker to tick one shard's slice of the
+// current due batch.
+type engineShardJob struct {
+	shard  int
+	step   int64
+	sample bool // sample stall episodes (overload control armed)
 }
 
 // engineEntry is one admitted playback.  The ticks/due/rate fields are
@@ -122,12 +163,113 @@ type engineEntry struct {
 	ticks      int              // snapshot, written and read under the engine lock
 	due        avtime.WorldTime // snapshot of the next due time, under the engine lock
 	lastStalls int64            // stall episodes at the previous sample (loop only)
+
+	shard int        // home shard, fixed at admission
+	stage *obs.Stage // private telemetry buffer under parallel stepping
+
+	// Tick results, written by the ticking goroutine during phase 1 and
+	// read by the loop goroutine at the merge (the pool's WaitGroup
+	// provides the happens-before edge).
+	tickDone  bool
+	tickStall int64
 }
 
 func newEngine(db *Database) *Engine {
-	e := &Engine{db: db, entries: make(map[sched.RunID]*engineEntry), baseCtx: context.Background()}
+	e := &Engine{
+		db:         db,
+		set:        sched.NewShardedRunSet(engineShards),
+		entries:    make(map[sched.RunID]*engineEntry),
+		shardBatch: make([][]*engineEntry, engineShards),
+		workers:    1,
+		baseCtx:    context.Background(),
+	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
+}
+
+// SetWorkers bounds the engine's tick-phase worker pool; n <= 1 steps
+// serially.  The output is byte-identical for any value, so it is
+// purely a host-parallelism knob (Config.EngineWorkers sets it at
+// Open).  Call it before admitting sessions: telemetry staging is
+// decided per admission, so runs admitted while the engine was serial
+// keep emitting directly and would interleave nondeterministically if
+// later steps went parallel.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	for e.stepping {
+		e.cond.Wait()
+	}
+	e.workers = n
+	e.stopPoolLocked()
+	e.mu.Unlock()
+}
+
+// Workers reports the engine's tick-phase pool bound.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// ensurePool makes the worker pool match e.workers, building it on
+// first (or post-resize) use.  Only the loop goroutine calls it.
+func (e *Engine) ensurePool(n int) {
+	if e.workCh != nil && e.poolSize == n {
+		return
+	}
+	e.stopPool()
+	e.workCh = make(chan engineShardJob, engineShards)
+	e.poolSize = n
+	for i := 0; i < n; i++ {
+		go e.poolWorker(e.workCh)
+	}
+}
+
+// stopPool closes the pool; in-flight jobs have already been waited
+// for (the step barrier precedes every call).
+func (e *Engine) stopPool() {
+	if e.workCh != nil {
+		close(e.workCh)
+		e.workCh = nil
+		e.poolSize = 0
+	}
+}
+
+// stopPoolLocked is stopPool for callers holding e.mu; the pool fields
+// themselves are only ever touched between steps, so the lock is about
+// caller convenience, not the channel.
+func (e *Engine) stopPoolLocked() { e.stopPool() }
+
+// poolWorker drains shard jobs until the channel closes.
+func (e *Engine) poolWorker(ch chan engineShardJob) {
+	for job := range ch {
+		e.tickShard(job)
+		e.stepWG.Done()
+	}
+}
+
+// tickShard executes one shard's slice of the due batch: every run
+// ticks in admission order within the shard, recording its outcome on
+// its own entry.  Cross-shard ordering is free to race — runs touch
+// disjoint per-run state, and all shared mid-tick structures are
+// lock-protected and order-independent (see the Engine doc comment).
+func (e *Engine) tickShard(job engineShardJob) {
+	for _, en := range e.shardBatch[job.shard] {
+		en.run.SetRound(job.step)
+		pprof.SetGoroutineLabels(en.labelCtx)
+		done, _ := en.run.Tick()
+		en.tickDone = done
+		en.tickStall = 0
+		if job.sample {
+			eps := en.sess.stallEpisodes()
+			en.tickStall = eps - en.lastStalls
+			en.lastStalls = eps
+		}
+	}
+	pprof.SetGoroutineLabels(e.baseCtx)
 }
 
 // EnableOverloadControl arms the engine's pressure detector and
@@ -189,14 +331,27 @@ func (e *Engine) admitCheck() error {
 // the playback handle registered on the session.  The pprof label
 // context is built here, once per admission, so the step path never
 // constructs label sets per tick.
-func (e *Engine) admit(s *Session, run engineRun, p *Playback) {
+//
+// shardKey picks the run's home shard: a non-negative key (the
+// session's stripe-group hash, computed by the caller since it owns
+// the session lock) maps sessions sharing a disk group to the same
+// shard, a negative key takes the round-robin cursor.  Under parallel
+// stepping with observability on, the run's sink is swapped for a
+// private obs.Stage here — after Begin, which emitted the session's
+// setup spans directly, and before the first tick.
+func (e *Engine) admit(s *Session, run engineRun, p *Playback, shardKey int) {
 	labels := pprof.Labels("avdb_session", s.ID(), "avdb_graph", run.Graph().Name())
 	ctx := pprof.WithLabels(context.Background(), labels)
 	sink := e.db.sink()
 	e.mu.Lock()
+	shard := shardKey % engineShards
+	if shard < 0 {
+		shard = e.rrShard
+		e.rrShard = (e.rrShard + 1) % engineShards
+	}
 	due := run.NextDue()
-	id := e.set.Admit(due)
-	e.entries[id] = &engineEntry{
+	id := e.set.Admit(due, shard)
+	en := &engineEntry{
 		id:       id,
 		sess:     s,
 		session:  s.ID(),
@@ -206,7 +361,14 @@ func (e *Engine) admit(s *Session, run engineRun, p *Playback) {
 		labelCtx: ctx,
 		rate:     run.Rate(),
 		due:      due,
+		shard:    shard,
 	}
+	if sink != nil && e.workers > 1 {
+		en.stage = &obs.Stage{}
+		run.SwapObs(en.stage)
+	}
+	e.entries[id] = en
+	e.admitted = append(e.admitted, id)
 	if sink != nil {
 		// Published inside the critical section that changed the count:
 		// an interleaved admit/retire pair can no longer leave the gauge
@@ -263,6 +425,7 @@ func (e *Engine) stepOnce() bool {
 	}
 	if e.set.Len() == 0 {
 		e.running = false
+		e.stopPoolLocked()
 		e.cond.Broadcast()
 		e.mu.Unlock()
 		return false
@@ -272,13 +435,20 @@ func (e *Engine) stepOnce() bool {
 	e.steps++
 	// The DueBatch buffer is owned by the run set and only valid until
 	// its next call; resolve ids to entries into the engine's own
-	// reusable batch buffer before dropping the lock.
+	// reusable batch buffer (and its per-shard slices) before dropping
+	// the lock.
 	e.stepBatch = e.stepBatch[:0]
+	for i := range e.shardBatch {
+		e.shardBatch[i] = e.shardBatch[i][:0]
+	}
 	for _, id := range ids {
-		e.stepBatch = append(e.stepBatch, e.entries[id])
+		en := e.entries[id]
+		e.stepBatch = append(e.stepBatch, en)
+		e.shardBatch[en.shard] = append(e.shardBatch[en.shard], en)
 	}
 	batch := e.stepBatch
 	det := e.detector
+	workers := e.workers
 	e.stepping = true
 	e.mu.Unlock()
 
@@ -294,28 +464,61 @@ func (e *Engine) stepOnce() bool {
 		sink.Observe("engine.tick.lag", int64(lag))
 	}
 
-	// Phase 1 — tick every due run, in admission order, all tagged
-	// with this step's service round so the store batches their chunk
-	// requests into the same per-disk SCAN-EDF rounds.  Each run ticks
-	// under its admission-time pprof label context; the goroutine's
-	// labels are cleared once at the end of the batch.
+	// Phase 1 — tick every due run, all tagged with this step's service
+	// round so the store batches their chunk requests into the same
+	// per-disk SCAN-EDF rounds.  Serial engines walk the batch in
+	// admission order on this goroutine; parallel engines hand each
+	// shard's slice to the worker pool and wait at the barrier.  Either
+	// way each run ticks under its admission-time pprof label context.
+	if workers > 1 && len(batch) > 1 {
+		e.ensurePool(workers)
+		pending := 0
+		for si := range e.shardBatch {
+			if len(e.shardBatch[si]) > 0 {
+				pending++
+			}
+		}
+		e.stepWG.Add(pending)
+		sample := det != nil
+		for si := range e.shardBatch {
+			if len(e.shardBatch[si]) > 0 {
+				e.workCh <- engineShardJob{shard: si, step: step, sample: sample}
+			}
+		}
+		e.stepWG.Wait()
+	} else {
+		for _, en := range batch {
+			en.run.SetRound(step)
+			pprof.SetGoroutineLabels(en.labelCtx)
+			done, _ := en.run.Tick()
+			en.tickDone = done
+			en.tickStall = 0
+			if det != nil {
+				eps := en.sess.stallEpisodes()
+				en.tickStall = eps - en.lastStalls
+				en.lastStalls = eps
+			}
+		}
+		if len(batch) > 0 {
+			pprof.SetGoroutineLabels(e.baseCtx)
+		}
+	}
+
+	// Merge — walk the batch in admission order: accumulate the stall
+	// sample, replay each run's staged telemetry into the real sink
+	// (re-establishing exactly the emission order a serial step would
+	// have produced), and collect finished runs.  This is the commit
+	// barrier that makes any worker count byte-identical to serial.
 	e.retiredBuf = e.retiredBuf[:0]
 	var stallDelta int64
 	for _, en := range batch {
-		en.run.SetRound(step)
-		pprof.SetGoroutineLabels(en.labelCtx)
-		done, _ := en.run.Tick()
-		if det != nil {
-			eps := en.sess.stallEpisodes()
-			stallDelta += eps - en.lastStalls
-			en.lastStalls = eps
+		stallDelta += en.tickStall
+		if en.stage != nil {
+			en.stage.Flush(sink)
 		}
-		if done || en.run.Err() != nil {
+		if en.tickDone || en.run.Err() != nil {
 			e.retiredBuf = append(e.retiredBuf, en)
 		}
-	}
-	if len(batch) > 0 {
-		pprof.SetGoroutineLabels(e.baseCtx)
 	}
 
 	// Phase 2 — one clock commit for the whole step: the minimum
@@ -355,9 +558,17 @@ func (e *Engine) stepOnce() bool {
 	// stop nodes, complete the Playback so waiters unblock.
 	for _, en := range e.retiredBuf {
 		stats, err := en.run.Finish()
+		if en.stage != nil {
+			// Finish emits its close-out (span ends, teardown counters)
+			// through the run's sink — the stage, under parallel
+			// stepping.  Replay it now, at the same point a serial
+			// engine would have emitted it directly.
+			en.stage.Flush(sink)
+		}
 		e.mu.Lock()
 		e.set.Remove(en.id)
 		delete(e.entries, en.id)
+		e.removeAdmittedLocked(en.id)
 		e.finished++
 		if sink != nil {
 			// Under the lock for the same reason admit publishes under
@@ -443,7 +654,7 @@ func (e *Engine) overloadStep(det *sched.OverloadDetector, sink obs.Sink, stallD
 func (e *Engine) degradeCandidates() []*Session {
 	e.mu.Lock()
 	sessions := e.sessScratch[:0]
-	for _, id := range e.admissionOrderLocked() {
+	for _, id := range e.admitted {
 		if en := e.entries[id]; en.sess != nil {
 			sessions = append(sessions, en.sess)
 		}
@@ -554,63 +765,82 @@ type EngineSession struct {
 	State    string           // "admitted" until the first tick, then "running"
 	Priority sched.Priority   // service class for overload sweeps
 	Degraded bool             // running its fallback quality
+
+	sess *Session // carried between the two SessionsAppend passes, then cleared
 }
 
-// Sessions lists the active engine entries in admission order.  All
-// run-derived fields come from the loop-maintained snapshot read under
-// the engine lock — never from the GraphRun itself, which the loop may
-// be mid-Tick on.
+// Sessions lists the active engine entries in admission order.  It
+// allocates a fresh slice so concurrent pollers never share a buffer;
+// callers that poll at scale should use SessionsAppend with a retained
+// buffer (and a cap) instead.
 func (e *Engine) Sessions() []EngineSession {
+	return e.SessionsAppend(nil, 0)
+}
+
+// SessionsAppend appends up to top active entries (0 = all), in
+// admission order, to buf and returns the extended slice — the
+// avdbsh-facing listing that stays usable at 10k sessions: the
+// admission-order id list is maintained incrementally (appended at
+// admit, spliced at retire), so no per-call sort happens, the cap
+// bounds both the copy and the per-session lock hops, and a retained
+// buf makes repeated polls allocation-free once warm.
+//
+// All run-derived fields come from the loop-maintained snapshot read
+// under the engine lock — never from the GraphRun itself, which the
+// loop may be mid-Tick on.
+func (e *Engine) SessionsAppend(buf []EngineSession, top int) []EngineSession {
+	start := len(buf)
 	e.mu.Lock()
-	out := make([]EngineSession, 0, len(e.entries))
-	sessions := make([]*Session, 0, len(e.entries))
-	// Walk the run set rather than the map so the order is admission
-	// order, not map order.
-	for _, id := range e.admissionOrderLocked() {
+	n := len(e.admitted)
+	if top > 0 && top < n {
+		n = top
+	}
+	for _, id := range e.admitted[:n] {
 		en := e.entries[id]
 		state := "running"
 		if en.ticks == 0 {
 			state = "admitted"
 		}
-		out = append(out, EngineSession{
+		buf = append(buf, EngineSession{
 			Session: en.session,
 			Graph:   en.graph,
 			Rate:    en.rate,
 			Ticks:   en.ticks,
 			Due:     en.due,
 			State:   state,
+			sess:    en.sess,
 		})
-		sessions = append(sessions, en.sess)
 	}
 	e.mu.Unlock()
 	// Session locks are taken after the engine lock is dropped; the
 	// lock order everywhere is session, then engine.
-	for i, s := range sessions {
-		if s != nil {
-			out[i].Priority = s.Priority()
-			out[i].Degraded = s.Degraded()
+	for i := start; i < len(buf); i++ {
+		if s := buf[i].sess; s != nil {
+			buf[i].Priority = s.Priority()
+			buf[i].Degraded = s.Degraded()
+			buf[i].sess = nil
 		}
 	}
-	return out
+	return buf
 }
 
-// admissionOrderLocked returns the active run ids in admission order,
-// in a buffer reused call to call (callers hold the engine lock and
-// consume the slice before releasing it).
-func (e *Engine) admissionOrderLocked() []sched.RunID {
-	ids := e.idScratch[:0]
-	for id := range e.entries {
-		ids = append(ids, id)
-	}
-	// RunIDs are handed out in admission order, so sorting by id IS
-	// admission order; insertion sort keeps this dependency-free.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+// removeAdmittedLocked splices a retired id out of the admission-order
+// list; the caller holds the engine lock.  Ids are monotonic so the
+// list is sorted and binary search finds the victim.
+func (e *Engine) removeAdmittedLocked(id sched.RunID) {
+	lo, hi := 0, len(e.admitted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.admitted[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	e.idScratch = ids
-	return ids
+	if lo < len(e.admitted) && e.admitted[lo] == id {
+		copy(e.admitted[lo:], e.admitted[lo+1:])
+		e.admitted = e.admitted[:len(e.admitted)-1]
+	}
 }
 
 // EngineStats summarizes the engine's lifetime counters.

@@ -9,6 +9,7 @@ import (
 
 	"avdb/internal/activity"
 	"avdb/internal/avtime"
+	"avdb/internal/obs"
 	"avdb/internal/sched"
 )
 
@@ -33,6 +34,7 @@ func (f *fakeRun) Done() bool                        { return false }
 func (f *fakeRun) NextDue() avtime.WorldTime         { return f.due }
 func (f *fakeRun) CommitHorizon() avtime.WorldTime   { return f.due }
 func (f *fakeRun) SetRound(int64)                    {}
+func (f *fakeRun) SwapObs(s obs.Sink) obs.Sink       { return nil }
 func (f *fakeRun) Finish() (*activity.RunStats, error) { return &activity.RunStats{}, nil }
 
 func (f *fakeRun) Tick() (bool, error) {
@@ -58,7 +60,7 @@ func admitFakeRuns(t testing.TB, db *Database, n int) *Engine {
 	e.mu.Unlock()
 	g := activity.NewGraph("fake")
 	for i := 0; i < n; i++ {
-		e.admit(s, &fakeRun{g: g, unit: avtime.Millisecond}, &Playback{done: make(chan struct{})})
+		e.admit(s, &fakeRun{g: g, unit: avtime.Millisecond}, &Playback{done: make(chan struct{})}, -1)
 	}
 	return e
 }
@@ -70,18 +72,91 @@ func admitFakeRuns(t testing.TB, db *Database, n int) *Engine {
 // no-op fakes, so any allocation measured here is engine bookkeeping.
 func TestEngineAllocsPerStep(t *testing.T) {
 	for _, n := range []int{1, 16} {
-		t.Run(fmt.Sprintf("sessions-%d", n), func(t *testing.T) {
-			db := testDB(t)
-			e := admitFakeRuns(t, db, n)
-			// Warm the batch/retired/DueBatch buffers past their growth.
-			for i := 0; i < 32; i++ {
-				e.stepOnce()
-			}
-			allocs := testing.AllocsPerRun(200, func() { e.stepOnce() })
-			if allocs != 0 {
-				t.Errorf("engine step allocates %.1f times per step at %d sessions, want 0", allocs, n)
-			}
-		})
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("sessions-%d-workers-%d", n, workers), func(t *testing.T) {
+				db := testDB(t)
+				e := admitFakeRuns(t, db, n)
+				e.SetWorkers(workers)
+				// Warm the batch/retired/DueBatch buffers (and, sharded, the
+				// worker pool and its goroutines' sudog caches) past growth.
+				for i := 0; i < 32; i++ {
+					e.stepOnce()
+				}
+				allocs := testing.AllocsPerRun(200, func() { e.stepOnce() })
+				if allocs != 0 {
+					t.Errorf("engine step allocates %.1f times per step at %d sessions, %d workers, want 0",
+						allocs, n, workers)
+				}
+			})
+		}
+	}
+}
+
+// busyRun is fakeRun with a deterministic arithmetic spin per tick,
+// sized to imitate a real session's host-side tick cost (~hundreds of
+// ns — BENCH_pr5 measures ~420ns/session on the wide step).  It gives
+// BenchmarkEngineStepSharded actual work to divide across workers
+// while keeping the 0 allocs/step bound measurable.
+type busyRun struct {
+	fakeRun
+	spin int
+	acc  uint64 // accumulated so the spin cannot be dead-code eliminated
+}
+
+func (r *busyRun) Tick() (bool, error) {
+	x := r.acc + 12345
+	for i := 0; i < r.spin; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	r.acc = x
+	r.ticks++
+	r.due += r.unit
+	return false, nil
+}
+
+// admitBusyRuns is admitFakeRuns over busyRuns.
+func admitBusyRuns(t testing.TB, db *Database, n, spin int) *Engine {
+	t.Helper()
+	s, err := db.Connect("shard-harness", "lan0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	e := db.Engine()
+	e.mu.Lock()
+	e.running = true // keep the loop goroutine out; the test steps directly
+	e.mu.Unlock()
+	g := activity.NewGraph("busy")
+	for i := 0; i < n; i++ {
+		e.admit(s, &busyRun{fakeRun: fakeRun{g: g, unit: avtime.Millisecond}, spin: spin}, &Playback{done: make(chan struct{})}, -1)
+	}
+	return e
+}
+
+// BenchmarkEngineStepSharded measures step throughput as the tick
+// phase fans out: serial versus a 4-worker pool at 256/1k/4k sessions
+// of µs-scale busy work.  On a multi-core host the 4-worker arms
+// approach linear scaling; scripts/bench.sh pr9 records both and
+// enforces the speedup bound when the host can express it (cpus > 1),
+// plus the 0 allocs/op bound everywhere.
+func BenchmarkEngineStepSharded(b *testing.B) {
+	const spin = 400
+	for _, n := range []int{256, 1024, 4096} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("sessions-%d-workers-%d", n, workers), func(b *testing.B) {
+				db := testDB(b)
+				e := admitBusyRuns(b, db, n, spin)
+				e.SetWorkers(workers)
+				for i := 0; i < 8; i++ {
+					e.stepOnce()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.stepOnce()
+				}
+			})
+		}
 	}
 }
 

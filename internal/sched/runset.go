@@ -87,15 +87,35 @@ func (s *RunSet) down(i int) {
 
 // Admit adds a run due at the given time and returns its id.
 func (s *RunSet) Admit(due avtime.WorldTime) RunID {
+	s.next++
+	id := s.next
+	s.admitAt(id, due)
+	return id
+}
+
+// admitAt enters a run under an externally assigned id.  ShardedRunSet
+// uses it to spread one global admission-order id space over several
+// shard sets; ids must be unique and increasing per set so the (due,
+// id) key still orders ties by admission.
+func (s *RunSet) admitAt(id RunID, due avtime.WorldTime) {
 	if s.pos == nil {
 		s.pos = make(map[RunID]int)
 	}
-	s.next++
-	id := s.next
+	if id > s.next {
+		s.next = id
+	}
 	s.heap = append(s.heap, runSetEntry{id: id, due: due})
 	s.pos[id] = len(s.heap) - 1
 	s.up(len(s.heap) - 1)
-	return id
+}
+
+// MinDue reports the earliest due time in the set without collecting
+// the batch; ok is false when the set is empty.
+func (s *RunSet) MinDue() (avtime.WorldTime, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].due, true
 }
 
 // Reschedule updates a run's next due time.  Unknown ids are ignored

@@ -22,6 +22,19 @@ package storage
 // independent of submission order.  Within one flush, rounds are
 // serviced in ascending round order and disks in ID order.
 //
+// The same argument covers the sharded engine's cross-SESSION
+// parallelism (EngineWorkers > 1): every method that touches shared
+// scheduler state takes io.mu, so racing sessions' submissions of the
+// same engine step interleave safely, and because the key is total the
+// interleaving is invisible.  Service itself is serialized by the
+// flushed watermark — the first tick of step T+1 to reach
+// flushBefore(T+1) on any worker services every complete round while
+// the other workers pass the lock-free watermark check — and demand
+// reads price seeks from the stream's own recorded position without
+// moving the shared per-disk heads, so only watermark-ordered service
+// advances them.  TestConcurrentSubmitDeterminism pins this under the
+// race detector.
+//
 // The hot path is allocation-free in steady state (pinned by
 // TestIOSchedAllocsPerRun).  Rounds live in flat, reusable buffers: a
 // schedRound holds one diskBatch per disk, kept sorted by device ID, and
@@ -318,8 +331,12 @@ func (io *IOSched) submit(round int64, q ioReq) {
 }
 
 // flushBefore services every pending round strictly below round, in
-// ascending order.  The caller's tick barrier guarantees those rounds
-// are complete.
+// ascending order.  The caller's tick barrier — within a session the
+// wavefront executor's, across sessions the sharded engine's
+// admission-order commit barrier — guarantees those rounds are
+// complete.  Concurrent callers race on the watermark: exactly one
+// wins and services, the rest exit lock-free, and because batch
+// content is already fixed it does not matter which.
 func (io *IOSched) flushBefore(round int64) {
 	if round <= io.flushed.Load() {
 		// Already serviced: the watermark only grows, so this lock-free

@@ -28,6 +28,16 @@
 #         refresh, clock commit) at narrow and wide session counts;
 #         both arms are gated ns/op and must report 0 allocs/op.
 #
+#   pr9   sharded engine step: BenchmarkEngineStepSharded over busy runs
+#         (µs-scale tick work) at 256/1k/4k sessions, serial vs a
+#         4-worker shard pool; all arms are gated ns/op and must report
+#         0 allocs/op.  On hosts with >= 2 CPUs the 1k-session arm must
+#         show >= 2x step throughput over serial (on a 1-CPU host the
+#         speedup is recorded but not enforced — there is nothing to
+#         parallelize onto).  The virtual side runs the Zipf tenancy at
+#         1000 sessions and hard-fails unless the EngineWorkers 2 and 4
+#         arms are byte-identical to serial.
+#
 #   gate  trajectory gate: re-measure every committed BENCH_*.json tag
 #         and fail (via cmd/benchgate) when any host ns/op metric
 #         regressed more than BENCH_GATE_RATIO (default 1.10) over the
@@ -310,6 +320,80 @@ pr8)
     printf "}\n"
   }' > "$out"
   ;;
+pr9)
+  # Like pr8, the step benchmark controls its own iteration count so the
+  # warm steady state reports 0 allocs/op under any BENCHTIME.
+  bench_out=$(go test -run '^$' -bench 'BenchmarkEngineStepSharded' -benchmem -benchtime "${SHARD_BENCHTIME:-300x}" -count "${BENCHCOUNT:-1}" ./internal/core/)
+  echo "$bench_out"
+  declare -A ns allocs
+  for n in 256 1024 4096; do
+    for w in 1 4; do
+      key="${n}_${w}"
+      ns[$key]=$(echo "$bench_out" | awk -v pat="BenchmarkEngineStepSharded/sessions-${n}-workers-${w}" \
+        '$0 ~ pat {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+      allocs[$key]=$(echo "$bench_out" | awk -v pat="BenchmarkEngineStepSharded/sessions-${n}-workers-${w}" \
+        '$0 ~ pat {print $7+0; exit}')
+      if [ -z "${ns[$key]}" ]; then
+        echo "bench: could not parse BenchmarkEngineStepSharded sessions-${n}-workers-${w}" >&2
+        exit 1
+      fi
+      if [ "${allocs[$key]}" != "0" ]; then
+        echo "bench: sharded step arm sessions-${n}-workers-${w} allocates ${allocs[$key]} allocs/op, want 0" >&2
+        exit 1
+      fi
+    done
+  done
+  speedup_enforced=false
+  if [ "$cpus" -ge 2 ]; then
+    speedup_enforced=true
+    ok=$(awk -v s="${ns[1024_1]}" -v p="${ns[1024_4]}" 'BEGIN {print (p > 0 && s / p >= 2.0) ? "yes" : "no"}')
+    if [ "$ok" != "yes" ]; then
+      echo "bench: 4-worker step speedup at 1024 sessions below 2x (serial=${ns[1024_1]}ns sharded=${ns[1024_4]}ns, cpus=$cpus)" >&2
+      exit 1
+    fi
+  fi
+  # The virtual side is the determinism proof: the Zipf tenancy rerun
+  # with EngineWorkers 2 and 4 must fingerprint byte-identical to serial.
+  exp_out=$(go run ./cmd/avbench -exp zipf -frames 30 -sessions 1000)
+  echo "$exp_out"
+  # Arm rows follow the "workers ..." header (the clip table above also
+  # has rows starting with a bare number):
+  #   workers wall MB/s misses seeks saved maxbatch fingerprint identical
+  read -r mbs saved <<<"$(echo "$exp_out" | awk 'arms && /^1  /{print $3, $6; exit} /^workers /{arms=1}')"
+  ident2=$(echo "$exp_out" | awk 'arms && /^2  /{print $NF; exit} /^workers /{arms=1}')
+  ident4=$(echo "$exp_out" | awk 'arms && /^4  /{print $NF; exit} /^workers /{arms=1}')
+  if [ -z "$mbs" ] || [ -z "$ident2" ] || [ -z "$ident4" ]; then
+    echo "bench: could not parse zipf experiment output" >&2
+    exit 1
+  fi
+  if [ "$ident2" != "yes" ] || [ "$ident4" != "yes" ]; then
+    echo "bench: sharded engine arms not byte-identical to serial (workers2=$ident2 workers4=$ident4)" >&2
+    exit 1
+  fi
+  awk -v s256="${ns[256_1]}" -v p256="${ns[256_4]}" \
+      -v s1k="${ns[1024_1]}" -v p1k="${ns[1024_4]}" \
+      -v s4k="${ns[4096_1]}" -v p4k="${ns[4096_4]}" \
+      -v enforced="$speedup_enforced" -v mbs="$mbs" -v saved="$saved" \
+      -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkEngineStepSharded\",\n"
+    printf "  \"workload\": {\"runs\": \"busy engineRun fakes, ~400-iteration spin per tick\", \"sessions\": [256, 1024, 4096], \"workers\": [1, 4], \"batch\": \"all sessions due every step\"},\n"
+    printf "  \"host_ns_per_op\": {\"step_serial_256\": %d, \"step_sharded4_256\": %d, \"step_serial_1024\": %d, \"step_sharded4_1024\": %d, \"step_serial_4096\": %d, \"step_sharded4_4096\": %d},\n", s256, p256, s1k, p1k, s4k, p4k
+    printf "  \"allocs_per_op\": {\"step_serial_1024\": 0, \"step_sharded4_1024\": 0},\n"
+    printf "  \"per_session_ns\": {\"serial_1024\": %.1f, \"sharded4_1024\": %.1f},\n", s1k / 1024, p1k / 1024
+    printf "  \"speedup_4workers\": {\"sessions_256\": %.3f, \"sessions_1024\": %.3f, \"sessions_4096\": %.3f},\n", s256 / p256, s1k / p1k, s4k / p4k
+    printf "  \"speedup_enforced\": %s,\n", enforced
+    printf "  \"virtual\": {\n"
+    printf "    \"experiment\": \"avbench -exp zipf -frames 30 -sessions 1000\",\n"
+    printf "    \"identical_to_serial\": {\"workers_2\": \"yes\", \"workers_4\": \"yes\"},\n"
+    printf "    \"mb_per_s\": %s,\n", mbs
+    printf "    \"seeks_saved\": %s\n", saved
+    printf "  },\n"
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
 gate)
   # Trajectory gate: every committed baseline is re-measured on this
   # host and compared metric-by-metric.  Fresh measurements go to a
@@ -339,7 +423,7 @@ gate)
   exit $status
   ;;
 *)
-  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, pr8, gate)" >&2
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, pr8, pr9, gate)" >&2
   exit 2
   ;;
 esac
