@@ -27,6 +27,9 @@
 //	                         # sharded engine: Zipf hot-clip/cold-tail
 //	                         # tenancy rerun with EngineWorkers 1/2/4,
 //	                         # checked byte-identical to serial
+//	avbench -exp jukebox     # storage hierarchy: cold platter swaps,
+//	                         # popularity promotion, hot replication,
+//	                         # idle demotion sweep
 package main
 
 import (
@@ -167,6 +170,9 @@ func runners(metrics, trace bool, workers, width, sessions int) []runner {
 		}},
 		{"overload", "engine overload control: degrade sweeps + load shedding vs thrash", func(frames int) (fmt.Stringer, error) {
 			return experiment.Overload(frames, sessions)
+		}},
+		{"jukebox", "storage hierarchy: promote, replicate and demote over the videodisc tier", func(frames int) (fmt.Stringer, error) {
+			return experiment.Jukebox(frames)
 		}},
 		{"zipf", "sharded engine: Zipf tenancy swept over EngineWorkers 1/2/4", func(frames int) (fmt.Stringer, error) {
 			n := sessions

@@ -86,6 +86,8 @@ func execute(db *core.Database, line string) error {
   trace <oid>                     play an object's videoTrack, print the span tree
   sessions [-top N]               list playbacks active on the stream engine
                                   (-top caps the listing, admission order)
+  tiers                           list each stored value's tier, popularity,
+                                  and replica count, plus the shared pool
   stats                           print the database's metric registry
   help | quit
 `)
@@ -112,15 +114,19 @@ func execute(db *core.Database, line string) error {
 		if len(list) == 0 {
 			fmt.Println("  no active playbacks")
 		} else {
-			fmt.Printf("  %-16s %-12s %-8s %6s  %-12s %-10s %-8s %s\n",
-				"session", "graph", "rate", "ticks", "next due", "state", "priority", "quality")
+			fmt.Printf("  %-16s %-12s %-8s %6s  %-12s %-10s %-8s %-8s %s\n",
+				"session", "graph", "rate", "ticks", "next due", "state", "priority", "quality", "pool")
 			for _, es := range list {
 				quality := "full"
 				if es.Degraded {
 					quality = "degraded"
 				}
-				fmt.Printf("  %-16s %-12s %-8v %6d  %-12v %-10s %-8v %s\n",
-					es.Session, es.Graph, es.Rate, es.Ticks, es.Due, es.State, es.Priority, quality)
+				pool := "-"
+				if total := es.PoolHits + es.PoolMisses; total > 0 {
+					pool = fmt.Sprintf("%d%%", es.PoolHits*100/total)
+				}
+				fmt.Printf("  %-16s %-12s %-8v %6d  %-12v %-10s %-8v %-8s %s\n",
+					es.Session, es.Graph, es.Rate, es.Ticks, es.Due, es.State, es.Priority, quality, pool)
 			}
 		}
 		st := eng.Stats()
@@ -136,6 +142,25 @@ func execute(db *core.Database, line string) error {
 			fmt.Printf("overload control: pressure=%v, %d transitions, %d shed, %d degraded (%d now), %d restored\n",
 				st.Pressure, st.Transitions, st.Rejected, st.Degraded, st.DegradedNow, st.Restored)
 		}
+	case line == "tiers":
+		infos := db.Storage().TierInfo(db.Clock().Now())
+		if len(infos) == 0 {
+			fmt.Println("  no stored values")
+		} else {
+			fmt.Printf("  %-6s %-14s %-10s %-6s %10s  %-7s %s\n",
+				"value", "tier", "device", "disc", "popularity", "copies", "streams")
+			for _, ti := range infos {
+				disc := "-"
+				if ti.Disc >= 0 {
+					disc = strconv.Itoa(ti.Disc)
+				}
+				fmt.Printf("  %-6d %-14s %-10s %-6s %10.2f  %-7d %d\n",
+					ti.Seg, ti.Tier(), ti.Device, disc, ti.Popularity, ti.Copies, ti.Streams)
+			}
+		}
+		ps := db.Storage().PoolStats()
+		fmt.Printf("pool: %d/%d resident, %d streams, %d hits (%d shared), %d misses, %d evicted\n",
+			ps.Resident, ps.Capacity, ps.Streams, ps.Hits, ps.Shared, ps.Misses, ps.Evicted)
 	case line == "classes":
 		for _, n := range db.Schema().Classes() {
 			fmt.Println(" ", n)

@@ -93,6 +93,11 @@ type Config struct {
 	// changes nothing.  Sessions may override per stream with
 	// Session.SetStriping.
 	Striping storage.StripePolicy
+	// Tiering configures the storage hierarchy: popularity-driven
+	// promotion of jukebox values to the disk tier, demotion sweeps, and
+	// hot-clip replication across stripe groups.  The zero value
+	// disables it.  Sessions may opt out with Session.SetTiered(false).
+	Tiering storage.TierPolicy
 	// Priority is the default service class for sessions this database
 	// opens; individual sessions may override with Session.SetPriority.
 	// The zero value is sched.PriorityNormal.  Priority orders the
@@ -162,6 +167,7 @@ func Open(cfg Config) (*Database, error) {
 	}
 	db.mediaSt.SetCachePolicy(cfg.Cache)
 	db.mediaSt.SetStriping(cfg.Striping)
+	db.mediaSt.SetTierPolicy(cfg.Tiering)
 	db.engine = query.NewEngine(db.schema, db.objects)
 	db.runEngine = newEngine(db)
 	db.runEngine.SetWorkers(cfg.EngineWorkers)

@@ -766,6 +766,9 @@ type EngineSession struct {
 	Priority sched.Priority   // service class for overload sweeps
 	Degraded bool             // running its fallback quality
 
+	PoolHits   int64 // buffer-pool hits across the session's open streams
+	PoolMisses int64 // buffer-pool misses across the session's open streams
+
 	sess *Session // carried between the two SessionsAppend passes, then cleared
 }
 
@@ -818,6 +821,8 @@ func (e *Engine) SessionsAppend(buf []EngineSession, top int) []EngineSession {
 		if s := buf[i].sess; s != nil {
 			buf[i].Priority = s.Priority()
 			buf[i].Degraded = s.Degraded()
+			cs := s.CacheStats()
+			buf[i].PoolHits, buf[i].PoolMisses = cs.Hits, cs.Misses
 			buf[i].sess = nil
 		}
 	}

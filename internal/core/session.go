@@ -38,6 +38,7 @@ type Session struct {
 	closed   bool
 	workers  int                    // 0 inherits the database's Workers setting
 	striping *storage.StripePolicy  // nil inherits the store's policy
+	tiered   *bool                  // nil follows the store's tier policy
 	span     obs.SpanID             // session span when observability is on
 	priority sched.Priority         // service class for overload sweeps
 	deg      *degradeState          // armed degradation path, nil if none
@@ -106,6 +107,36 @@ func (s *Session) SetStriping(p storage.StripePolicy) {
 	s.mu.Lock()
 	s.striping = &p
 	s.mu.Unlock()
+}
+
+// SetTiered overrides whether streams this session binds afterwards go
+// through popularity accounting (storage tier promotion/replication).
+// By default sessions follow the store's tier policy; administrative
+// sessions that should not skew popularity pass false.
+func (s *Session) SetTiered(on bool) {
+	s.mu.Lock()
+	s.tiered = &on
+	s.mu.Unlock()
+}
+
+// CacheStats aggregates the buffer-pool behavior of the session's open
+// streams: hits, shared hits (chunks a neighbor session staged), and
+// misses.
+func (s *Session) CacheStats() storage.CacheStats {
+	s.mu.Lock()
+	streams := make([]*storage.Stream, len(s.streams))
+	copy(streams, s.streams)
+	s.mu.Unlock()
+	var agg storage.CacheStats
+	for _, stream := range streams {
+		cs := stream.CacheStats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Shared += cs.Shared
+		agg.Prefetched += cs.Prefetched
+		agg.Evicted += cs.Evicted
+	}
+	return agg
 }
 
 // InstallStriped is Install for an activity consuming a striped stream:
@@ -326,10 +357,24 @@ func (s *Session) attachPlacement(oid schema.OID, attr, track string, act activi
 	}
 	s.mu.Lock()
 	override := s.striping
+	tiered := s.tiered
 	s.mu.Unlock()
+	useTier := s.db.mediaSt.Tiering().Enabled()
+	if tiered != nil {
+		useTier = useTier && *tiered
+	}
+	policy := s.db.mediaSt.Striping()
+	if override != nil {
+		policy = *override
+	}
 	var stream *storage.Stream
 	var err error
-	if override != nil {
+	if useTier {
+		// Tiered open: the access bumps the value's popularity and may
+		// promote or replicate it; any copy cost lands on this stream's
+		// startup, charged to its first read.
+		stream, _, err = s.db.mediaSt.OpenStreamTieredWith(seg.ID(), rate, s.db.clock.Now(), policy)
+	} else if override != nil {
 		stream, _, err = s.db.mediaSt.OpenStreamWith(seg.ID(), rate, *override)
 	} else {
 		stream, _, err = s.db.mediaSt.OpenStream(seg.ID(), rate)

@@ -341,29 +341,34 @@ func (d *Disk) CheckRead(bytes int64) (avtime.WorldTime, error) {
 	return (*p).BeforeRead(d.id, bytes)
 }
 
-// Jukebox is an analog videodisc jukebox: several discs, one of which is
-// loaded at a time; switching discs costs a swap latency.  "An analog
-// videodisc jukebox provides a video storage capacity difficult to achieve
-// using magnetic disks" (§3.3) — here it is the bulk tier for LV-encoded
-// values.
+// Jukebox is an analog videodisc jukebox: several discs, of which a
+// small number fit the platter slots at once; switching a disc into a
+// slot costs a swap latency.  "An analog videodisc jukebox provides a
+// video storage capacity difficult to achieve using magnetic disks"
+// (§3.3) — here it is the bulk (tertiary) tier for LV-encoded values.
+// A jukebox starts with one slot, the classic single-platter player;
+// SetSlots widens it.
 type Jukebox struct {
 	id      string
 	perDisc int64
 	swap    avtime.WorldTime
 	bw      bwAccount
 
-	mu      sync.Mutex
-	used    []int64
-	current int
-	hook    FaultHook
+	mu     sync.Mutex
+	used   []int64
+	loaded []int // discs in the platter slots, most recently used first
+	slots  int   // platter slots; discs loaded at once
+	swaps  int64 // completed disc swaps
+	hook   FaultHook
 }
 
-// NewJukebox returns a jukebox with the given number of discs.
+// NewJukebox returns a jukebox with the given number of discs and one
+// platter slot (disc 0 loaded).
 func NewJukebox(id string, discs int, perDiscCapacity int64, bandwidth media.DataRate, swap avtime.WorldTime) *Jukebox {
 	if discs <= 0 || perDiscCapacity <= 0 || bandwidth <= 0 || swap < 0 {
 		panic(fmt.Sprintf("device: invalid jukebox %q", id))
 	}
-	j := &Jukebox{id: id, perDisc: perDiscCapacity, swap: swap, used: make([]int64, discs)}
+	j := &Jukebox{id: id, perDisc: perDiscCapacity, swap: swap, used: make([]int64, discs), loaded: []int{0}, slots: 1}
 	j.bw.total = bandwidth
 	return j
 }
@@ -385,11 +390,69 @@ func (j *Jukebox) Discs() int {
 	return len(j.used)
 }
 
-// CurrentDisc reports the loaded disc.
+// CurrentDisc reports the most recently accessed loaded disc.
 func (j *Jukebox) CurrentDisc() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.current
+	return j.loaded[0]
+}
+
+// Slots reports the number of platter slots.
+func (j *Jukebox) Slots() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.slots
+}
+
+// SetSlots resizes the platter to n slots.  Shrinking ejects the least
+// recently used discs beyond the new size at no cost (ejection overlaps
+// the next load's swap).
+func (j *Jukebox) SetSlots(n int) error {
+	if n < 1 {
+		return fmt.Errorf("device: jukebox %q needs at least one slot, got %d", j.id, n)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.slots = n
+	if len(j.loaded) > n {
+		j.loaded = j.loaded[:n]
+	}
+	return nil
+}
+
+// Loaded returns the discs currently in the platter slots, most recently
+// used first.
+func (j *Jukebox) Loaded() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]int, len(j.loaded))
+	copy(out, j.loaded)
+	return out
+}
+
+// DiscLoaded reports whether the disc sits in a platter slot, so a read
+// of it needs no swap.
+func (j *Jukebox) DiscLoaded(disc int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.slotOf(disc) >= 0
+}
+
+// Swaps reports the number of completed disc swaps.
+func (j *Jukebox) Swaps() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.swaps
+}
+
+// slotOf returns the index of disc in j.loaded, or -1; j.mu is held.
+func (j *Jukebox) slotOf(disc int) int {
+	for i, d := range j.loaded {
+		if d == disc {
+			return i
+		}
+	}
+	return -1
 }
 
 // Capacity reports the total capacity across discs.
@@ -430,7 +493,8 @@ func (j *Jukebox) Free(disc int, bytes int64) {
 }
 
 // AccessTime reports the world time to read bytes from the given disc,
-// including a swap if it is not loaded, and loads it.
+// including a swap if it sits in no platter slot, and loads it.  Loading
+// into a full platter ejects the least recently used disc.
 func (j *Jukebox) AccessTime(disc int, bytes int64) (avtime.WorldTime, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -438,16 +502,25 @@ func (j *Jukebox) AccessTime(disc int, bytes int64) (avtime.WorldTime, error) {
 		return 0, fmt.Errorf("%w: jukebox %q has no disc %d", ErrNoDevice, j.id, disc)
 	}
 	var t avtime.WorldTime
-	if disc != j.current {
+	if i := j.slotOf(disc); i >= 0 {
+		// Already loaded: bump to most recently used.
+		copy(j.loaded[1:], j.loaded[:i])
+		j.loaded[0] = disc
+	} else {
 		if j.hook != nil {
 			if err := j.hook.BeforeSwap(j.id, disc); err != nil {
-				// The swap mechanism jammed: the head stays on the current
-				// disc and the failed attempt still costs a swap latency.
+				// The swap mechanism jammed: the platter keeps its discs
+				// and the failed attempt still costs a swap latency.
 				return j.swap, err
 			}
 		}
 		t += j.swap
-		j.current = disc
+		j.swaps++
+		if len(j.loaded) < j.slots {
+			j.loaded = append(j.loaded, 0)
+		}
+		copy(j.loaded[1:], j.loaded)
+		j.loaded[0] = disc
 	}
 	if bytes > 0 {
 		t += avtime.WorldTime(bytes * int64(avtime.Second) / int64(j.bw.total))

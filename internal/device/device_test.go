@@ -402,3 +402,88 @@ func TestDiskGeometryValidation(t *testing.T) {
 		t.Fatalf("flat model not restored: SeekBetween = %v", got)
 	}
 }
+
+func TestJukeboxPlatterSlots(t *testing.T) {
+	j := NewJukebox("jb0", 4, 1000, 1*media.MBPerSecond, 5*avtime.Second)
+	if j.Slots() != 1 {
+		t.Fatalf("default slots = %d, want 1 (legacy single-platter)", j.Slots())
+	}
+	if err := j.SetSlots(0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if err := j.SetSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	// Disc 0 starts loaded; loading disc 1 fills the second slot with no
+	// eviction, so both stay swap-free afterwards.
+	if _, err := j.AccessTime(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !j.DiscLoaded(0) || !j.DiscLoaded(1) {
+		t.Fatalf("loaded = %v, want discs 0 and 1", j.Loaded())
+	}
+	if j.Swaps() != 1 {
+		t.Errorf("swaps = %d, want 1", j.Swaps())
+	}
+	dt, err := j.AccessTime(0, 0)
+	if err != nil || dt != 0 {
+		t.Errorf("access to resident disc cost %v, %v; want free", dt, err)
+	}
+	// Disc 2 evicts the least recently used resident (disc 1: disc 0 was
+	// just bumped).
+	if _, err := j.AccessTime(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !j.DiscLoaded(0) || j.DiscLoaded(1) || !j.DiscLoaded(2) {
+		t.Fatalf("loaded = %v, want discs 2 and 0", j.Loaded())
+	}
+	if j.CurrentDisc() != 2 {
+		t.Errorf("current disc = %d, want 2", j.CurrentDisc())
+	}
+	if j.Swaps() != 2 {
+		t.Errorf("swaps = %d, want 2", j.Swaps())
+	}
+	// Shrinking drops the colder residents.
+	if err := j.SetSlots(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Loaded(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("loaded after shrink = %v, want [2]", got)
+	}
+}
+
+// jamOnce fails the first swap it sees.
+type jamOnce struct{ jammed *bool }
+
+func (h jamOnce) BeforeRead(string, int64) (avtime.WorldTime, error) { return 0, nil }
+func (h jamOnce) BeforeSwap(string, int) error {
+	if !*h.jammed {
+		*h.jammed = true
+		return errors.New("jam")
+	}
+	return nil
+}
+
+func TestJukeboxSwapJamKeepsPlatter(t *testing.T) {
+	j := NewJukebox("jb0", 3, 1000, 1*media.MBPerSecond, 5*avtime.Second)
+	jammed := false
+	j.SetFaultHook(jamOnce{jammed: &jammed})
+	dt, err := j.AccessTime(1, 0)
+	if err == nil {
+		t.Fatal("jammed swap succeeded")
+	}
+	if dt != 5*avtime.Second {
+		t.Errorf("jammed swap cost %v, want the full swap latency", dt)
+	}
+	// The platter kept its disc and the failed attempt is not a swap.
+	if !j.DiscLoaded(0) || j.DiscLoaded(1) || j.Swaps() != 0 {
+		t.Errorf("after jam: loaded %v, swaps %d; want [0], 0", j.Loaded(), j.Swaps())
+	}
+	// The retry goes through.
+	if _, err := j.AccessTime(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !j.DiscLoaded(1) || j.Swaps() != 1 {
+		t.Errorf("after retry: loaded %v, swaps %d; want disc 1, 1", j.Loaded(), j.Swaps())
+	}
+}

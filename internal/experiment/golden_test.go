@@ -27,6 +27,7 @@ func goldenCases(t *testing.T) map[string]func() (fmt.Stringer, error) {
 		"stripe":   func() (fmt.Stringer, error) { return Stripe(90, 4) },
 		"tenancy":  func() (fmt.Stringer, error) { return Tenancy(45, 4) },
 		"zipf":     func() (fmt.Stringer, error) { return ZipfTenancy(12, 96) },
+		"jukebox":  func() (fmt.Stringer, error) { return Jukebox(90) },
 		"overload": func() (fmt.Stringer, error) { return Overload(120, 4) },
 		"observe": func() (fmt.Stringer, error) {
 			res, err := Observe(60, 7)

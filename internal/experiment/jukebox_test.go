@@ -1,0 +1,70 @@
+package experiment
+
+import "testing"
+
+// TestJukeboxLifeCycle pins the hierarchy's arc: the cold wave pays a
+// platter swap per clip, the hot ramp promotes the hot clip to the
+// disk tier, the replay replicates it, and the idle sweep demotes it —
+// with the carousel untouched once the value lives on disks.
+func TestJukeboxLifeCycle(t *testing.T) {
+	res, err := Jukebox(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waves) != 3 {
+		t.Fatalf("waves = %d, want 3", len(res.Waves))
+	}
+	cold, ramp, replay := res.Waves[0], res.Waves[1], res.Waves[2]
+	if cold.Swaps != int64(len(cold.Plays)) {
+		t.Errorf("cold wave swaps = %d, want one per clip (%d)", cold.Swaps, len(cold.Plays))
+	}
+	if cold.HotTier != "jukebox" || cold.HotCopies != 1 {
+		t.Errorf("hot clip after cold wave: tier %q copies %d, want archival single copy", cold.HotTier, cold.HotCopies)
+	}
+	if ramp.HotTier != "jukebox+disk" {
+		t.Errorf("hot ramp did not promote: tier %q", ramp.HotTier)
+	}
+	if replay.HotCopies != 2 {
+		t.Errorf("replay did not replicate: copies = %d, want 2", replay.HotCopies)
+	}
+	if replay.Swaps != 0 {
+		t.Errorf("replay touched the carousel: %d swaps, want 0 once promoted", replay.Swaps)
+	}
+	if res.Demoted != 1 {
+		t.Errorf("idle sweep demoted %d values, want 1", res.Demoted)
+	}
+	for i, ti := range res.Final {
+		if ti.Tier() != "jukebox" || ti.Promoted {
+			t.Errorf("value %d after the sweep: tier %q, want everything back on the archival tier", i, ti.Tier())
+		}
+	}
+}
+
+// TestZipfPooledArms pins the shared buffer pool's claims at tenancy
+// scale: co-viewing cohorts hit the pool on most reads, the pooled
+// arms move at least the baseline's throughput, and the pool's commit
+// discipline keeps every EngineWorkers arm byte-identical to serial.
+func TestZipfPooledArms(t *testing.T) {
+	res, err := ZipfTenancy(12, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pooled) != 3 {
+		t.Fatalf("pooled arms = %d, want 3", len(res.Pooled))
+	}
+	for _, a := range res.Pooled {
+		if !a.Identical {
+			t.Errorf("pooled arm workers=%d not byte-identical to serial", a.Workers)
+		}
+		if a.CohortRate <= 0.5 {
+			t.Errorf("pooled arm workers=%d: cohort hit rate %.1f%%, want > 50%%", a.Workers, 100*a.CohortRate)
+		}
+		if a.Pool.Shared == 0 {
+			t.Errorf("pooled arm workers=%d: no cross-stream shared hits", a.Workers)
+		}
+		if a.Throughput < res.Arms[0].Throughput {
+			t.Errorf("pooled arm workers=%d: %.2f MB/s under the unpooled baseline %.2f",
+				a.Workers, a.Throughput, res.Arms[0].Throughput)
+		}
+	}
+}

@@ -36,12 +36,21 @@ import (
 // snapshot.  Each arm's fingerprint hashes the snapshot bytes plus
 // every session's outcome; the rendition's "identical" column is the
 // determinism claim made machine-checkable in a golden file.
+// A second sweep reruns the same tenancy with the shared buffer pool
+// on (Capacity 8, Lookahead 4 per stream): sessions on the same clip
+// read the same chunks in the same engine rounds, so one cohort
+// member's miss fills a chunk the rest hit for free.  The pooled arms
+// report the cohort hit rate — over clips with two or more sessions —
+// and must be byte-identical across EngineWorkers too, which is the
+// pool's snapshot/commit discipline made machine-checkable.
 const (
-	zipfDisks    = 8   // the array the library is striped over
-	zipfWidth    = 4   // disks per clip, so two natural stripe groups
-	zipfClips    = 12  // library size
-	zipfExponent = 1.1 // Zipf popularity exponent
-	zipfSeed     = 29
+	zipfDisks     = 8   // the array the library is striped over
+	zipfWidth     = 4   // disks per clip, so two natural stripe groups
+	zipfClips     = 12  // library size
+	zipfExponent  = 1.1 // Zipf popularity exponent
+	zipfSeed      = 29
+	zipfPoolCap   = 8 // pooled arms: chunks per attached stream
+	zipfLookahead = 4 // pooled arms: prefetch depth
 )
 
 // ZipfClip is one library entry: its popularity share, the sessions the
@@ -61,8 +70,10 @@ type ZipfArm struct {
 	Throughput  float64          // aggregate MB/s of virtual wall time
 	Misses      int              // presentation-deadline misses, all sessions
 	IO          storage.IOStats
-	Fingerprint uint64 // FNV-64a over the obs snapshot + per-session outcomes
-	Identical   bool   // fingerprint matches the EngineWorkers=1 arm
+	Pool        storage.PoolStats // shared buffer pool, pooled arms only
+	CohortRate  float64           // pool hit rate over clips with 2+ sessions
+	Fingerprint uint64            // FNV-64a over the obs snapshot + per-session outcomes
+	Identical   bool              // fingerprint matches the EngineWorkers=1 arm
 }
 
 // ZipfResult is the EngineWorkers sweep over the fixed tenancy.
@@ -74,6 +85,7 @@ type ZipfResult struct {
 	Exponent float64
 	Clips    []ZipfClip
 	Arms     []ZipfArm
+	Pooled   []ZipfArm // the same sweep with the shared buffer pool on
 }
 
 // zipfQuotas splits sessions over ranks 1..clips in proportion to
@@ -117,11 +129,15 @@ func zipfQuotas(sessions, clips int, exponent float64) (quotas []int, shares []f
 // library alternates deterministically between the two natural stripe
 // groups.  workers flows into Config.EngineWorkers — the only knob the
 // sweep turns.
-func zipfPlatform(frames, sessions, workers int) (*core.Database, []schema.OID, [][]string, error) {
+func zipfPlatform(frames, sessions, workers int, pooled bool) (*core.Database, []schema.OID, [][]string, error) {
 	frameBytes := int64(clipW * clipH * clipDepth / 8)
 	clipBytes := int64(frames) * frameBytes
 	diskBW := media.DataRate(sessions+zipfDisks) * media.MBPerSecond
 	capacity := int64(zipfClips)*clipBytes + frameBytes
+	var cache storage.CachePolicy
+	if pooled {
+		cache = storage.CachePolicy{Capacity: zipfPoolCap, Lookahead: zipfLookahead}
+	}
 	db, err := core.Open(core.Config{
 		Name: "zipf",
 		Resources: sched.Resources{
@@ -130,6 +146,7 @@ func zipfPlatform(frames, sessions, workers int) (*core.Database, []schema.OID, 
 			Bus:     media.DataRate(2*sessions+100) * media.MBPerSecond,
 		},
 		Striping:      storage.StripePolicy{Width: zipfWidth, Seeks: true, Rounds: true},
+		Cache:         cache,
 		EngineWorkers: workers,
 	})
 	if err != nil {
@@ -179,8 +196,8 @@ func zipfPlatform(frames, sessions, workers int) (*core.Database, []schema.OID, 
 
 // zipfArm runs the whole tenancy once at one EngineWorkers count on a
 // fresh platform and fingerprints everything observable.
-func zipfArm(frames, sessions, workers int, quotas []int) (ZipfArm, error) {
-	db, oids, _, err := zipfPlatform(frames, sessions, workers)
+func zipfArm(frames, sessions, workers int, quotas []int, pooled bool) (ZipfArm, error) {
+	db, oids, _, err := zipfPlatform(frames, sessions, workers, pooled)
 	if err != nil {
 		return ZipfArm{}, fmt.Errorf("experiment: zipf platform: %w", err)
 	}
@@ -189,6 +206,7 @@ func zipfArm(frames, sessions, workers int, quotas []int) (ZipfArm, error) {
 	type tenant struct {
 		sess *core.Session
 		win  *activities.VideoWindow
+		clip int // rank index, for the cohort hit rate
 	}
 	var tenants []tenant
 	for k, quota := range quotas {
@@ -213,7 +231,7 @@ func zipfArm(frames, sessions, workers int, quotas []int) (ZipfArm, error) {
 			if err := sess.BindValue(oids[k], "video", vr, "out", media.MBPerSecond); err != nil {
 				return ZipfArm{}, err
 			}
-			tenants = append(tenants, tenant{sess: sess, win: win})
+			tenants = append(tenants, tenant{sess: sess, win: win, clip: k})
 		}
 	}
 
@@ -241,10 +259,34 @@ func zipfArm(frames, sessions, workers int, quotas []int) (ZipfArm, error) {
 	}
 	arm.Wall = db.Clock().Now()
 	arm.IO = db.MediaIOStats()
+	if pooled {
+		// Cohort hit rate: pool traffic of the sessions whose clip has
+		// company.  Collected before Close (per-session stats live on
+		// the streams) and folded into the fingerprint — the pool's
+		// commit order is part of the determinism claim.
+		var cohortHits, cohortTotal int64
+		for i, t := range tenants {
+			cs := t.sess.CacheStats()
+			if quotas[t.clip] >= 2 {
+				cohortHits += cs.Hits
+				cohortTotal += cs.Hits + cs.Misses
+			}
+			fmt.Fprintf(h, "c%d:%d:%d:%d;", i, cs.Hits, cs.Misses, cs.Shared)
+		}
+		if cohortTotal > 0 {
+			arm.CohortRate = float64(cohortHits) / float64(cohortTotal)
+		}
+	}
 	for _, t := range tenants {
 		if err := t.sess.Close(); err != nil {
 			return ZipfArm{}, fmt.Errorf("experiment: zipf close: %w", err)
 		}
+	}
+	if pooled {
+		// Store-level aggregate; survives the session closes above.
+		arm.Pool = db.Storage().PoolStats()
+		fmt.Fprintf(h, "pool:%d:%d:%d:%d:%d;", arm.Pool.Hits, arm.Pool.Misses,
+			arm.Pool.Shared, arm.Pool.Prefetched, arm.Pool.Evicted)
 	}
 	snap, err := col.Snapshot().JSON()
 	if err != nil {
@@ -274,7 +316,7 @@ func ZipfTenancy(frames, sessions int) (*ZipfResult, error) {
 		Exponent: zipfExponent,
 	}
 	// Stripe assignment is a platform property; read it off one build.
-	_, _, stripes, err := zipfPlatform(frames, sessions, 1)
+	_, _, stripes, err := zipfPlatform(frames, sessions, 1, false)
 	if err != nil {
 		return nil, err
 	}
@@ -283,17 +325,23 @@ func ZipfTenancy(frames, sessions int) (*ZipfResult, error) {
 			Rank: k + 1, Share: shares[k], Sessions: quotas[k], Stripe: stripes[k],
 		})
 	}
-	for _, workers := range []int{1, 2, 4} {
-		arm, err := zipfArm(frames, sessions, workers, quotas)
-		if err != nil {
-			return nil, err
+	for _, pooled := range []bool{false, true} {
+		arms := &res.Arms
+		if pooled {
+			arms = &res.Pooled
 		}
-		if len(res.Arms) == 0 {
-			arm.Identical = true
-		} else {
-			arm.Identical = arm.Fingerprint == res.Arms[0].Fingerprint
+		for _, workers := range []int{1, 2, 4} {
+			arm, err := zipfArm(frames, sessions, workers, quotas, pooled)
+			if err != nil {
+				return nil, err
+			}
+			if len(*arms) == 0 {
+				arm.Identical = true
+			} else {
+				arm.Identical = arm.Fingerprint == (*arms)[0].Fingerprint
+			}
+			*arms = append(*arms, arm)
 		}
-		res.Arms = append(res.Arms, arm)
 	}
 	return res, nil
 }
@@ -337,5 +385,34 @@ func (r *ZipfResult) String() string {
 		})
 	}
 	s += table([]string{"workers", "wall", "MB/s", "misses", "seeks", "saved", "max batch", "fingerprint", "identical"}, armRows)
+
+	if len(r.Pooled) > 0 {
+		s += fmt.Sprintf("\nshared buffer pool on (capacity %d, lookahead %d per stream): one cohort member's\n", zipfPoolCap, zipfLookahead)
+		s += "miss fills the chunk the rest hit; cohort = sessions on clips with 2+ viewers\n\n"
+		poolRows := make([][]string, 0, len(r.Pooled))
+		for _, a := range r.Pooled {
+			ident := "yes"
+			if !a.Identical {
+				ident = "NO"
+			}
+			total := a.Pool.Hits + a.Pool.Misses
+			rate := "-"
+			if total > 0 {
+				rate = fmt.Sprintf("%.1f%%", 100*float64(a.Pool.Hits)/float64(total))
+			}
+			poolRows = append(poolRows, []string{
+				fmt.Sprint(a.Workers),
+				a.Wall.String(),
+				fmt.Sprintf("%.2f", a.Throughput),
+				fmt.Sprint(a.Misses),
+				rate,
+				fmt.Sprint(a.Pool.Shared),
+				fmt.Sprintf("%.1f%%", 100*a.CohortRate),
+				fmt.Sprintf("%016x", a.Fingerprint),
+				ident,
+			})
+		}
+		s += table([]string{"workers", "wall", "MB/s", "misses", "pool hit", "shared", "cohort hit", "fingerprint", "identical"}, poolRows)
+	}
 	return s
 }

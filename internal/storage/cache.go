@@ -1,83 +1,56 @@
 package storage
 
-// cache.go implements the per-stream chunk cache and lookahead
-// prefetcher behind Stream.ReadChunkTime.  The model: a stream has
-// bandwidth reserved on its device whether or not the consumer is
-// reading this instant, so the device can work ahead, staging the next
-// few chunks overlapped with the playback interval the consumer spends
-// presenting the current one.  A staged (resident) chunk then costs the
-// consumer zero device time; only demand misses — the first read, seeks,
-// jumps past the lookahead window — pay the full read cost.
+// cache.go declares the chunk-caching policy and stats behind
+// Stream.ReadChunkTime.  The model: a stream has bandwidth reserved on
+// its device whether or not the consumer is reading this instant, so
+// the device can work ahead, staging the next few chunks overlapped
+// with the playback interval the consumer spends presenting the current
+// one.  A staged (resident) chunk then costs the consumer zero device
+// time; only demand misses — the first read, seeks, jumps past the
+// lookahead window — pay the full read cost.
 //
-// Caches are per stream, not shared across the store: two wavefront
-// lanes reading the same device must not race on eviction order, and a
-// per-stream cache keeps ReadChunkTime deterministic for a given access
-// sequence regardless of how many executor lanes are active.
-
-import "container/list"
+// Residency is store-wide, not per stream: CachePolicy configures the
+// shared buffer pool in pool.go, keyed by (segment, chunk), so
+// co-admitted sessions of the same clip hit chunks their neighbors
+// staged.  Determinism under parallel lanes comes from the pool's
+// snapshot/commit discipline — ticks read committed residency and stage
+// their mutations, applied in (stream, program-order) sequence at the
+// round barrier — not from isolation.  A single stream over the pool
+// behaves exactly like the retired per-stream LRU (the differential
+// suite holds it to that oracle), and the zero CachePolicy still
+// disables caching entirely, so uncached read costs and goldens are
+// untouched.
 
 // CachePolicy configures chunk caching for streams opened from a store.
 // The zero value disables caching, preserving the uncached read costs.
+// A non-zero policy sizes the store's shared buffer pool: the pool
+// holds Capacity chunks per attached stream.
 type CachePolicy struct {
-	Capacity  int // chunks retained per stream; <= 0 disables the cache
+	Capacity  int // pool chunks per attached stream; <= 0 disables caching
 	Lookahead int // chunks staged past each demand miss
 }
 
 // Enabled reports whether the policy caches at all.
 func (p CachePolicy) Enabled() bool { return p.Capacity > 0 }
 
-// CacheStats summarizes one stream's cache behavior.
+// CacheStats summarizes cache behavior — per stream on
+// Stream.CacheStats, pool-wide on Store.PoolStats.  Under scheduled
+// (staged) reads, evictions happen at the round commit and are
+// accounted to the pool aggregate, not to individual streams.
 type CacheStats struct {
 	Hits       int64 // reads served from resident chunks at zero device cost
 	Misses     int64 // demand reads that paid the device
+	Shared     int64 // hits on chunks some other stream made resident
 	Prefetched int64 // chunks staged by lookahead
-	Evicted    int64 // chunks dropped to respect Capacity
+	Evicted    int64 // chunks dropped to respect capacity
 }
 
-// chunkCache is an LRU set of resident chunk indices for one stream.
-// It is guarded by the owning Stream's mutex and tracks only residency:
-// chunk bytes live in the stored media value, so there is nothing to
-// copy — residency alone decides whether a read costs device time.
-type chunkCache struct {
-	policy   CachePolicy
-	order    *list.List // front = most recently used; element values are chunk indices
-	resident map[int]*list.Element
-	stats    CacheStats
-}
-
-func newChunkCache(p CachePolicy) *chunkCache {
-	return &chunkCache{
-		policy:   p,
-		order:    list.New(),
-		resident: make(map[int]*list.Element, p.Capacity),
-	}
-}
-
-func (c *chunkCache) contains(idx int) bool {
-	_, ok := c.resident[idx]
-	return ok
-}
-
-func (c *chunkCache) touch(idx int) {
-	if el, ok := c.resident[idx]; ok {
-		c.order.MoveToFront(el)
-	}
-}
-
-// insert makes idx resident, evicting least-recently-used indices to
-// respect Capacity, and reports how many were evicted.
-func (c *chunkCache) insert(idx int) int {
-	if el, ok := c.resident[idx]; ok {
-		c.order.MoveToFront(el)
-		return 0
-	}
-	c.resident[idx] = c.order.PushFront(idx)
-	evicted := 0
-	for c.order.Len() > c.policy.Capacity {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.resident, back.Value.(int))
-		evicted++
-	}
-	return evicted
+// PoolStats snapshots the shared buffer pool: the aggregate stats over
+// every stream that ever attached (they survive stream close) plus the
+// pool's current occupancy.
+type PoolStats struct {
+	CacheStats
+	Resident int // chunks currently resident
+	Capacity int // Capacity × attached streams
+	Streams  int // streams currently attached
 }

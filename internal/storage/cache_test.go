@@ -189,7 +189,7 @@ func TestCacheMetricsThroughSink(t *testing.T) {
 		}
 	}
 	text := col.Snapshot().MetricsText()
-	for _, metric := range []string{"storage.cache.hits", "storage.cache.misses", "storage.cache.prefetched"} {
+	for _, metric := range []string{"storage.pool.hits", "storage.pool.misses", "storage.pool.prefetched"} {
 		if !strings.Contains(text, metric) {
 			t.Errorf("metrics missing %s:\n%s", metric, text)
 		}

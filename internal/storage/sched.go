@@ -77,6 +77,18 @@ type ioReq struct {
 	now      avtime.WorldTime // submission (tick) time
 	deadline avtime.WorldTime // when the chunk must be presentable
 	slot     *ioSlot          // where the serviced result lands
+
+	// Replicated chunks carry alternates: the round assigns the request
+	// to the least-loaded copy at flush time (assignFlexLocked).  nalt is
+	// zero for unreplicated chunks, which skip the flex path entirely.
+	alts [3]ioAlt
+	nalt uint8
+}
+
+// ioAlt is one alternate home for a replicated chunk.
+type ioAlt struct {
+	disk  *device.Disk
+	track int
 }
 
 // ioSlot receives a stream's serviced result.  One slot belongs to one
@@ -86,6 +98,7 @@ type ioReq struct {
 type ioSlot struct {
 	chunk int
 	cost  avtime.WorldTime
+	disk  *device.Disk // replica that serviced the chunk
 	full  bool
 	// displaced holds the request consumeNext's eager queue replaced (a
 	// same-stream request already sat in the round), so an unconsume can
@@ -114,6 +127,7 @@ func reqBefore(a, b *ioReq) bool {
 type ioResult struct {
 	chunk int
 	cost  avtime.WorldTime // what the consuming read is charged
+	disk  *device.Disk     // replica that serviced the chunk
 }
 
 // svcEvent records one serviced request; emitted only when a service
@@ -138,6 +152,7 @@ type IOStats struct {
 	SeeksSaved     int64 // scheduled requests that rode an adjacent run for free
 	DeadlineMisses int64 // requests whose disk finished past their deadline
 	RoundsOverrun  int64 // per-disk batches whose service ran past their last deadline
+	Failovers      int64 // reads redirected to a surviving replica after an outage
 	MaxBatch       int   // largest per-disk batch seen
 }
 
@@ -147,14 +162,18 @@ type diskBatch struct {
 	devID string
 	disk  *device.Disk
 	reqs  []ioReq
+	load  int64 // bytes queued this round; steers flex assignment
 }
 
-// schedRound is one round's batches, kept sorted by device ID.  The
-// struct is reused: retiring a round truncates the batches and their
-// request slices without releasing capacity.
+// schedRound is one round's batches, kept sorted by device ID, plus the
+// flex list: requests for replicated chunks, kept in SCAN-EDF order and
+// assigned to the least-loaded copy's batch at flush time.  The struct
+// is reused: retiring a round truncates the batches and their request
+// slices without releasing capacity.
 type schedRound struct {
 	seq     int64
 	batches []diskBatch
+	flex    []ioReq
 }
 
 // roundPool is the spillover behind each IOSched's free list: rounds
@@ -225,8 +244,10 @@ func (io *IOSched) putRound(r *schedRound) {
 	for i := range r.batches {
 		r.batches[i].disk = nil
 		r.batches[i].reqs = r.batches[i].reqs[:0]
+		r.batches[i].load = 0
 	}
 	r.batches = r.batches[:0]
+	r.flex = r.flex[:0]
 	if len(io.free) < roundFreeCap {
 		io.free = append(io.free, r)
 		return
@@ -296,6 +317,7 @@ func (b *diskBatch) insert(q ioReq) (displaced ioReq, replaced bool) {
 	for j := range b.reqs {
 		if b.reqs[j].sid == q.sid {
 			displaced, replaced = b.reqs[j], true
+			b.load -= b.reqs[j].bytes
 			copy(b.reqs[j:], b.reqs[j+1:])
 			b.reqs = b.reqs[:len(b.reqs)-1]
 			break
@@ -313,7 +335,78 @@ func (b *diskBatch) insert(q ioReq) (displaced ioReq, replaced bool) {
 	b.reqs = append(b.reqs, ioReq{})
 	copy(b.reqs[lo+1:], b.reqs[lo:])
 	b.reqs[lo] = q
+	b.load += q.bytes
 	return displaced, replaced
+}
+
+// addReq routes a request into the round: unreplicated chunks go
+// straight to their disk's batch, replicated ones to the flex list for
+// least-loaded assignment at flush time.
+func (r *schedRound) addReq(q ioReq) (displaced ioReq, replaced bool) {
+	if q.nalt == 0 {
+		return r.batchFor(q.disk).insert(q)
+	}
+	return r.flexInsert(q)
+}
+
+// flexInsert places q at its SCAN-EDF position in the flex list with
+// the same same-stream replacement rule as diskBatch.insert.
+func (r *schedRound) flexInsert(q ioReq) (displaced ioReq, replaced bool) {
+	for j := range r.flex {
+		if r.flex[j].sid == q.sid {
+			displaced, replaced = r.flex[j], true
+			copy(r.flex[j:], r.flex[j+1:])
+			r.flex = r.flex[:len(r.flex)-1]
+			break
+		}
+	}
+	lo, hi := 0, len(r.flex)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if reqBefore(&r.flex[mid], &q) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.flex = append(r.flex, ioReq{})
+	copy(r.flex[lo+1:], r.flex[lo:])
+	r.flex[lo] = q
+	return displaced, replaced
+}
+
+// loadOf reports the bytes already queued on a disk's batch this round.
+func (r *schedRound) loadOf(d *device.Disk) int64 {
+	for i := range r.batches {
+		if r.batches[i].disk == d {
+			return r.batches[i].load
+		}
+	}
+	return 0
+}
+
+// assignFlexLocked routes every flex request to the least-loaded copy.
+// The flex list is in SCAN-EDF order — a total key — so the greedy
+// walk, and therefore every assignment, is independent of submission
+// order; ties in load go to the lower device ID.  Earlier assignments
+// count toward later ones' load, spreading a burst of hot-clip readers
+// across the stripe groups.  io.mu is held.
+func (io *IOSched) assignFlexLocked(r *schedRound) {
+	for i := range r.flex {
+		q := r.flex[i]
+		best, bestTrack := q.disk, q.track
+		bestLoad := r.loadOf(best)
+		for a := 0; a < int(q.nalt); a++ {
+			alt := q.alts[a]
+			l := r.loadOf(alt.disk)
+			if l < bestLoad || (l == bestLoad && alt.disk.ID() < best.ID()) {
+				best, bestTrack, bestLoad = alt.disk, alt.track, l
+			}
+		}
+		q.disk, q.track, q.nalt = best, bestTrack, 0
+		r.batchFor(best).insert(q)
+	}
+	r.flex = r.flex[:0]
 }
 
 // submit queues a request into the given round.  A stream resubmitting
@@ -327,7 +420,7 @@ func (io *IOSched) submit(round int64, q ioReq) {
 		// degrade); the request becomes a demand read at consumption.
 		return
 	}
-	io.roundFor(round).batchFor(q.disk).insert(q)
+	io.roundFor(round).addReq(q)
 }
 
 // flushBefore services every pending round strictly below round, in
@@ -355,6 +448,7 @@ func (io *IOSched) flushBefore(round int64) {
 		copy(io.pending, io.pending[1:])
 		io.pending[n-1] = nil
 		io.pending = io.pending[:n-1]
+		io.assignFlexLocked(r)
 		for i := range r.batches {
 			io.serviceLocked(&r.batches[i])
 		}
@@ -408,7 +502,7 @@ func (io *IOSched) serviceLocked(b *diskBatch) {
 			cost += avtime.WorldTime(q.bytes * int64(avtime.Second) / int64(q.rate))
 		}
 		if q.slot != nil {
-			q.slot.chunk, q.slot.cost, q.slot.full = q.chunk, cost, true
+			q.slot.chunk, q.slot.cost, q.slot.disk, q.slot.full = q.chunk, cost, q.disk, true
 		}
 		if io.svcTrace != nil {
 			*io.svcTrace = append(*io.svcTrace, svcEvent{
@@ -468,7 +562,7 @@ func (io *IOSched) takeLocked(slot *ioSlot, chunk int) (ioResult, bool) {
 	if slot.chunk != chunk {
 		return ioResult{}, false
 	}
-	return ioResult{chunk: slot.chunk, cost: slot.cost}, true
+	return ioResult{chunk: slot.chunk, cost: slot.cost, disk: slot.disk}, true
 }
 
 // consumeNext is the steady-state read: under one lock it consumes the
@@ -483,7 +577,7 @@ func (io *IOSched) consumeNext(slot *ioSlot, chunk int, round int64, next *ioReq
 	res, ok := io.takeLocked(slot, chunk)
 	slot.hasDisplaced = false
 	if ok && next != nil && round >= io.flushed.Load() {
-		slot.displaced, slot.hasDisplaced = io.roundFor(round).batchFor(next.disk).insert(*next)
+		slot.displaced, slot.hasDisplaced = io.roundFor(round).addReq(*next)
 	}
 	return res, ok
 }
@@ -497,7 +591,7 @@ func (io *IOSched) consumeNext(slot *ioSlot, chunk int, round int64, next *ioReq
 func (io *IOSched) unconsume(slot *ioSlot, res ioResult, round int64, next *ioReq) {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	slot.chunk, slot.cost, slot.full = res.chunk, res.cost, true
+	slot.chunk, slot.cost, slot.disk, slot.full = res.chunk, res.cost, res.disk, true
 	if next == nil {
 		return
 	}
@@ -507,40 +601,56 @@ func (io *IOSched) unconsume(slot *ioSlot, res ioResult, round int64, next *ioRe
 		if r.seq != round {
 			continue
 		}
-		for bi := range r.batches {
-			b := &r.batches[bi]
-			if b.disk != next.disk {
-				continue
-			}
-			for j := range b.reqs {
-				if b.reqs[j].sid == next.sid {
-					copy(b.reqs[j:], b.reqs[j+1:])
-					b.reqs = b.reqs[:len(b.reqs)-1]
+		if next.nalt > 0 {
+			// The eager queue routed a replicated chunk to the flex list.
+			for j := range r.flex {
+				if r.flex[j].sid == next.sid {
+					copy(r.flex[j:], r.flex[j+1:])
+					r.flex = r.flex[:len(r.flex)-1]
 					break
 				}
 			}
 			if restore {
-				// The eager queue had replaced an earlier same-stream
-				// request (found by FuzzSCANEDFOrder, seed
-				// e9318929d9b848a3): put it back, the old scheduler
-				// would still hold it.
-				b.insert(slot.displaced)
+				r.flexInsert(slot.displaced)
 			}
-			if len(b.reqs) == 0 {
-				// Shift the batch out, and park its (emptied) request
-				// buffer in the vacated slot: leaving the neighbor's
-				// slice header there would alias a live batch's array
-				// when batchFor later reclaims the truncated region
-				// (found by FuzzSCANEDFOrder, seed 14d7f6ab65a64f66).
-				spare := b.reqs
-				copy(r.batches[bi:], r.batches[bi+1:])
-				last := len(r.batches) - 1
-				r.batches[last] = diskBatch{reqs: spare}
-				r.batches = r.batches[:last]
+		} else {
+			for bi := range r.batches {
+				b := &r.batches[bi]
+				if b.disk != next.disk {
+					continue
+				}
+				for j := range b.reqs {
+					if b.reqs[j].sid == next.sid {
+						b.load -= b.reqs[j].bytes
+						copy(b.reqs[j:], b.reqs[j+1:])
+						b.reqs = b.reqs[:len(b.reqs)-1]
+						break
+					}
+				}
+				if restore {
+					// The eager queue had replaced an earlier same-stream
+					// request (found by FuzzSCANEDFOrder, seed
+					// e9318929d9b848a3): put it back, the old scheduler
+					// would still hold it.
+					b.insert(slot.displaced)
+				}
+				if len(b.reqs) == 0 {
+					// Shift the batch out, and park its (emptied) request
+					// buffer in the vacated slot: leaving the neighbor's
+					// slice header there would alias a live batch's array
+					// when batchFor later reclaims the truncated region
+					// (found by FuzzSCANEDFOrder, seed 14d7f6ab65a64f66).
+					spare := b.reqs
+					b.load = 0
+					copy(r.batches[bi:], r.batches[bi+1:])
+					last := len(r.batches) - 1
+					r.batches[last] = diskBatch{reqs: spare}
+					r.batches = r.batches[:last]
+				}
+				break
 			}
-			break
 		}
-		if len(r.batches) == 0 {
+		if len(r.batches) == 0 && len(r.flex) == 0 {
 			// The retraction emptied the round; drop it so an empty
 			// round is never counted as serviced.
 			copy(io.pending[ri:], io.pending[ri+1:])
@@ -576,6 +686,14 @@ func (io *IOSched) noteDemand(seeked bool) {
 			sink.Count("storage.iosched.seeks_charged", 1)
 		}
 	}
+}
+
+// noteFailover accounts a read redirected to a surviving replica after
+// the serviced copy's disk failed.
+func (io *IOSched) noteFailover() {
+	io.mu.Lock()
+	io.stats.Failovers++
+	io.mu.Unlock()
 }
 
 func abs(x int) int {

@@ -11,6 +11,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,6 +58,13 @@ type Segment struct {
 	chunkOff  []int64  // chunk -> byte offset within its disk's share
 	chunkSize []int64  // chunk -> size in bytes
 	chunkTrck []int    // chunk -> home track, cached once (see buildTrackMap)
+
+	// Tiering state, guarded by the store lock (see tier.go).
+	pop         float64          // decayed access popularity
+	popAt       avtime.WorldTime // when pop was last decayed
+	promoted    bool             // jukebox value with a live disk-tier copy
+	openStreams int              // open streams; demotion is gated on zero
+	replicas    []*segReplica    // extra copies across stripe groups
 }
 
 // ID returns the segment's identifier.
@@ -96,14 +104,20 @@ type Store struct {
 	sink     obs.Sink
 	policy   CachePolicy
 	striping StripePolicy
-	io       *IOSched // non-nil once a Seeks/Rounds policy was installed
+	tiering  TierPolicy
+	io       *IOSched    // non-nil once a Seeks/Rounds policy was installed
+	pool     *bufferPool // non-nil once a caching policy opened a stream
 }
 
 // SetCachePolicy configures chunk caching for streams opened afterwards;
-// already-open streams keep the policy they were opened with.  The zero
-// policy disables caching.
+// already-open streams keep the policy (and the shared pool) they were
+// opened with — changing the policy retires the current pool, and later
+// streams share a fresh one.  The zero policy disables caching.
 func (st *Store) SetCachePolicy(p CachePolicy) {
 	st.mu.Lock()
+	if p != st.policy {
+		st.pool = nil
+	}
 	st.policy = p
 	st.mu.Unlock()
 }
@@ -122,10 +136,27 @@ func (st *Store) SetSink(s obs.Sink) {
 	st.mu.Lock()
 	st.sink = s
 	io := st.io
+	pool := st.pool
 	st.mu.Unlock()
 	if io != nil {
 		io.setSink(s)
 	}
+	if pool != nil {
+		pool.setSink(s)
+	}
+}
+
+// PoolStats snapshots the shared buffer pool's aggregate behavior; the
+// zero value when no caching stream ever opened.  The aggregate
+// outlives streams: closing one no longer discards its cache history.
+func (st *Store) PoolStats() PoolStats {
+	st.mu.Lock()
+	pool := st.pool
+	st.mu.Unlock()
+	if pool == nil {
+		return PoolStats{}
+	}
+	return pool.stats()
 }
 
 // NewStore returns a store over the given device manager.
@@ -228,6 +259,17 @@ func (st *Store) Delete(id SegID) error {
 				if d, isDisk := dev.(*device.Disk); isDisk {
 					d.Free(s.perDev[k])
 				}
+			}
+		}
+		for _, rep := range s.replicas {
+			for k, d := range rep.disks {
+				d.Free(rep.perDev[k])
+			}
+		}
+		// A promoted value keeps its archival jukebox copy; free it too.
+		if s.promoted && disc >= 0 {
+			if j, err := st.jukebox(devID); err == nil {
+				j.Free(disc, size)
 			}
 		}
 		return nil
@@ -355,14 +397,24 @@ type Stream struct {
 	rounds bool             // submit/consume through service rounds
 	seeks  bool             // contended pricing: every demand read seeks
 	unit   avtime.WorldTime // playback interval between chunk deadlines
+	reps   []*segReplica    // replica snapshot taken at open time
 
 	mu       sync.Mutex
 	open     bool
 	startup  avtime.WorldTime // positioning cost charged on the first read
 	bytes    int64
-	readFrac float64     // fraction of each chunk scheduled reads transfer; 0 = full
-	sink     obs.Sink    // copied from the store at open time
-	cache    *chunkCache // nil when the store's policy disables caching
+	readFrac float64  // fraction of each chunk scheduled reads transfer; 0 = full
+	sink     obs.Sink // copied from the store at open time
+
+	// Shared buffer pool attachment; nil when caching is disabled.
+	pool     *bufferPool
+	pid      int64      // pool-attach order, orders staged ops
+	poolSeq  int64      // program order of this stream's staged ops
+	cstats   CacheStats // this stream's view of pool behavior
+	poolLo   int        // own staged fill window [poolLo, poolHi] ...
+	poolHi   int        //
+	poolRnd  int64      // ... staged at this round, valid while poolWin
+	poolWin  bool
 }
 
 // OpenStream reserves rate on the segment's device and returns a stream.
@@ -390,6 +442,7 @@ func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePoli
 		return nil, 0, fmt.Errorf("storage: stream rate must be positive, got %v", rate)
 	}
 	stream := &Stream{st: st, seg: s, rate: rate, open: true}
+	swapped := false
 	if s.Striped() {
 		disks := make([]*device.Disk, len(s.stripe))
 		for k, devID := range s.stripe {
@@ -429,6 +482,7 @@ func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePoli
 			if err := d.Reserve(rate); err != nil {
 				return nil, 0, err
 			}
+			swapped = !d.DiscLoaded(s.disc)
 			t, err := d.AccessTime(s.disc, 0)
 			if err != nil {
 				d.Release(rate)
@@ -442,8 +496,14 @@ func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePoli
 	}
 	st.mu.Lock()
 	stream.sink = st.sink
-	cachePolicy := st.policy
+	stream.reps = s.replicas
 	stream.seeks = policy.Seeks
+	if st.policy.Enabled() {
+		if st.pool == nil {
+			st.pool = newBufferPool(st.policy, st.sink)
+		}
+		stream.pool = st.pool
+	}
 	if policy.Seeks || policy.Rounds {
 		if st.io == nil {
 			st.io = newIOSched(st.sink)
@@ -477,12 +537,17 @@ func (st *Store) OpenStreamWith(id SegID, rate media.DataRate, policy StripePoli
 			stream.unit = s.value.Type().Rate.UnitDuration()
 		}
 	}
+	if stream.pool != nil {
+		stream.pid = stream.pool.attach()
+	}
+	s.openStreams++
 	st.mu.Unlock()
 	if stream.sink != nil {
 		stream.sink.Count("storage.streams_opened", 1)
-	}
-	if cachePolicy.Enabled() {
-		stream.cache = newChunkCache(cachePolicy)
+		if swapped {
+			// An un-promoted value paid the platter swap on open.
+			stream.sink.Count("storage.tier.swaps", 1)
+		}
 	}
 	return stream, stream.startup, nil
 }
@@ -582,18 +647,29 @@ func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadlin
 		// regardless of which stream flushes first.
 		s.io.flushBefore(round)
 	}
-	if s.cache != nil && s.cache.contains(idx) {
-		s.cache.touch(idx)
-		s.bytes += bytes
-		s.cache.stats.Hits++
-		if s.sink != nil {
-			s.sink.Count("storage.cache.hits", 1)
+	if s.pool != nil {
+		key := poolKey{seg: s.seg.id, chunk: idx}
+		hit := false
+		if h, shared := s.pool.read(s.pid, &s.poolSeq, key, round); h {
+			hit = true
+			if shared {
+				s.cstats.Shared++
+			}
+		} else if round >= 0 && s.poolWin && round == s.poolRnd && idx >= s.poolLo && idx <= s.poolHi {
+			// The chunk is in this stream's own fill window, staged earlier
+			// this round and not yet committed to the shared residency map.
+			s.pool.touchOwn(s.pid, &s.poolSeq, key, round)
+			hit = true
 		}
-		if s.io != nil {
-			// A hit makes any scheduled result for this stream moot.
-			s.io.drop(&s.slot)
+		if hit {
+			s.cstats.Hits++
+			s.bytes += bytes
+			if s.io != nil {
+				// A hit makes any scheduled result for this stream moot.
+				s.io.drop(&s.slot)
+			}
+			return 0, nil
 		}
-		return 0, nil
 	}
 	var t avtime.WorldTime
 	var err error
@@ -612,18 +688,40 @@ func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadlin
 			// s.mu makes the pair atomic with respect to every other
 			// operation on this stream.
 			var extra avtime.WorldTime
-			if s.disks != nil && s.seg.chunkDev != nil && idx < len(s.seg.chunkDev) {
+			var served device.Device
+			if res.disk != nil {
+				// The scheduler recorded which replica serviced the chunk.
+				served = res.disk
+				extra, err = res.disk.CheckRead(bytes)
+			} else if s.disks != nil && s.seg.chunkDev != nil && idx < len(s.seg.chunkDev) {
 				// Devirtualized fast path: striped homes are always disks.
+				served = s.disks[s.seg.chunkDev[idx]]
 				extra, err = s.disks[s.seg.chunkDev[idx]].CheckRead(bytes)
 			} else if f, isF := s.chunkDevice(idx).(device.Faultable); isF {
+				served = s.chunkDevice(idx)
 				extra, err = f.CheckRead(bytes)
 			}
 			if err != nil {
-				s.io.unconsume(&s.slot, res, round, nextReq)
-				t = extra
-				err = fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.chunkDevice(idx).ID(), err)
-				if s.sink != nil {
-					s.sink.Count("storage.read_faults", 1)
+				if alt, adt, live := s.failoverLocked(idx, bytes, served, err); live {
+					// Fail-soft: the serviced copy's disk died, so re-read
+					// the chunk from a surviving replica as a demand read —
+					// a seek plus the transfer at the stream's rate, on top
+					// of the failed attempt's cost.
+					s.bytes += bytes
+					t = extra + adt + alt.SeekTime() + avtime.WorldTime(bytes*int64(avtime.Second)/int64(s.rate))
+					err = nil
+					if s.sink != nil {
+						s.sink.Count("storage.reads", 1)
+						s.sink.Count("storage.read_bytes", bytes)
+						s.sink.Observe("storage.read_time_us", int64(t))
+					}
+				} else {
+					s.io.unconsume(&s.slot, res, round, nextReq)
+					t = extra
+					err = fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, s.chunkDevice(idx).ID(), err)
+					if s.sink != nil {
+						s.sink.Count("storage.read_faults", 1)
+					}
 				}
 			} else {
 				s.bytes += bytes
@@ -643,37 +741,66 @@ func (s *Stream) ReadChunkTimeAt(idx int, bytes int64, round int64, now, deadlin
 	} else {
 		t, err = s.readChunkLocked(idx, bytes)
 	}
-	if s.cache == nil {
+	if s.pool == nil {
 		return t, err
 	}
-	s.cache.stats.Misses++
-	if s.sink != nil {
-		s.sink.Count("storage.cache.misses", 1)
-	}
+	s.cstats.Misses++
+	s.pool.miss()
 	if err != nil {
 		return t, err
 	}
-	evicted := s.cache.insert(idx)
-	staged := 0
-	lookahead := s.cache.policy.Lookahead
+	lookahead := s.pool.policy.Lookahead
 	limit := s.seg.frames - 1
-	for k := idx + 1; k <= idx+lookahead && k <= limit; k++ {
-		if !s.cache.contains(k) {
-			evicted += s.cache.insert(k)
-			staged++
+	staged, evicted := s.pool.fill(s.pid, &s.poolSeq, s.seg.id, idx, lookahead, limit, round)
+	if round >= 0 {
+		s.poolLo, s.poolHi, s.poolRnd, s.poolWin = idx, idx+lookahead, round, true
+		if s.poolHi > limit {
+			s.poolHi = limit
 		}
 	}
-	s.cache.stats.Prefetched += int64(staged)
-	s.cache.stats.Evicted += int64(evicted)
-	if s.sink != nil {
-		if staged > 0 {
-			s.sink.Count("storage.cache.prefetched", int64(staged))
-		}
-		if evicted > 0 {
-			s.sink.Count("storage.cache.evicted", int64(evicted))
-		}
-	}
+	s.cstats.Prefetched += int64(staged)
+	s.cstats.Evicted += int64(evicted)
 	return t, nil
+}
+
+// failoverLocked finds a live disk holding another copy of chunk idx
+// after a copy's disk failed: the primary stripe home first, then
+// replicas in creation order, so every stream picks the same survivor.
+// It reports the fault-check cost of the surviving disk; the caller
+// holds s.mu.
+func (s *Stream) failoverLocked(idx int, bytes int64, failed device.Device, cause error) (*device.Disk, avtime.WorldTime, bool) {
+	if len(s.reps) == 0 || !errors.Is(cause, device.ErrDeviceFailed) {
+		return nil, 0, false
+	}
+	if d, _, ok := s.chunkHome(idx); ok && device.Device(d) != failed {
+		if dt, err := d.CheckRead(bytes); err == nil {
+			s.noteFailoverLocked()
+			return d, dt, true
+		}
+	}
+	if s.seg.chunkDev == nil || idx >= len(s.seg.chunkDev) {
+		return nil, 0, false
+	}
+	for _, rep := range s.reps {
+		d := rep.disks[s.seg.chunkDev[idx]]
+		if device.Device(d) == failed {
+			continue
+		}
+		if dt, err := d.CheckRead(bytes); err == nil {
+			s.noteFailoverLocked()
+			return d, dt, true
+		}
+	}
+	return nil, 0, false
+}
+
+func (s *Stream) noteFailoverLocked() {
+	if s.io != nil {
+		s.io.noteFailover()
+	}
+	if s.sink != nil {
+		s.sink.Count("storage.replica.failover", 1)
+	}
 }
 
 // chunkDevice returns the device holding the given chunk: the stripe
@@ -723,12 +850,19 @@ func (s *Stream) readChunkLocked(idx int, bytes int64) (avtime.WorldTime, error)
 	if f, ok := dev.(device.Faultable); ok {
 		dt, err := f.CheckRead(bytes)
 		if err != nil {
-			if s.sink != nil {
-				s.sink.Count("storage.read_faults", 1)
+			alt, adt, live := s.failoverLocked(idx, bytes, dev, err)
+			if !live {
+				if s.sink != nil {
+					s.sink.Count("storage.read_faults", 1)
+				}
+				return dt, fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, dev.ID(), err)
 			}
-			return dt, fmt.Errorf("storage: reading %v from %q: %w", s.seg.id, dev.ID(), err)
+			// Fail-soft onto a surviving replica: the read continues there,
+			// paying the failed attempt's cost on top.
+			dev, extra = alt, dt+adt
+		} else {
+			extra = dt
 		}
-		extra = dt
 	}
 	s.bytes += bytes
 	t := extra + avtime.WorldTime(bytes*int64(avtime.Second)/int64(s.rate))
@@ -785,6 +919,18 @@ func (s *Stream) stageNext(idx int, now, deadline avtime.WorldTime, req *ioReq) 
 		deadline: deadline + s.unit,
 		slot:     &s.slot,
 	}
+	// Replicated chunks offer the scheduler alternates: at flush time the
+	// round routes the request to the least-loaded copy (see
+	// assignFlexLocked), so concurrent sessions fan out across stripe
+	// groups instead of queueing on one disk's round.
+	for _, rep := range s.reps {
+		if int(req.nalt) == len(req.alts) {
+			break
+		}
+		k := s.seg.chunkDev[next]
+		req.alts[req.nalt] = ioAlt{disk: rep.disks[k], track: rep.chunkTrck[next]}
+		req.nalt++
+	}
 	return true
 }
 
@@ -805,15 +951,14 @@ func (s *Stream) SetPayloadBytes(total int64) {
 	s.readFrac = float64(total) / float64(s.seg.size)
 }
 
-// CacheStats reports the stream's cache behavior; the zero value when
-// caching is disabled.
+// CacheStats reports this stream's view of the shared pool — its own
+// hits, misses and prefetches; the zero value when caching is disabled.
+// Evictions under scheduled reads land on the pool aggregate
+// (Store.PoolStats), which also survives the stream closing.
 func (s *Stream) CacheStats() CacheStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cache == nil {
-		return CacheStats{}
-	}
-	return s.cache.stats
+	return s.cstats
 }
 
 // BytesRead reports the bytes accounted so far.
@@ -840,6 +985,12 @@ func (s *Stream) Close() {
 	if io != nil {
 		io.drop(&s.slot)
 	}
+	if s.pool != nil {
+		s.pool.detach()
+	}
+	s.st.mu.Lock()
+	s.seg.openStreams--
+	s.st.mu.Unlock()
 	s.releaseReservations()
 }
 

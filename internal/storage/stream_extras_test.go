@@ -1,0 +1,215 @@
+package storage
+
+// stream_extras_test.go covers the smaller stream and pool surfaces
+// around the hierarchy work: degraded payload fractions shortening
+// scheduled rounds, failover accounting on the round scheduler, sink
+// swaps reaching the pool and scheduler, same-round own-window hits,
+// and the policy/rendering helpers.
+
+import (
+	"strings"
+	"testing"
+
+	"avdb/internal/avtime"
+	"avdb/internal/media"
+	"avdb/internal/obs"
+)
+
+// TestStreamPayloadFractionShortensRounds pins SetPayloadBytes: a
+// degraded consumer ignoring half the encoded data must make the
+// scheduled prefetches transfer half the bytes, so the same read
+// sequence costs strictly less device time — and restoring the full
+// payload restores the full cost exactly.
+func TestStreamPayloadFractionShortensRounds(t *testing.T) {
+	run := func(payload func(seg *Segment) int64) avtime.WorldTime {
+		_, st := stripeRig(t, 2)
+		st.SetStriping(StripePolicy{Seeks: true, Rounds: true})
+		seg, err := st.PlaceStriped(clip(t, 20), 2*media.MBPerSecond, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, err := st.OpenStream(seg.ID(), 2*media.MBPerSecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if payload != nil {
+			s.SetPayloadBytes(payload(seg))
+		}
+		unit := media.TypeRawVideo30.Rate.UnitDuration()
+		var total avtime.WorldTime
+		for i := 0; i < 20; i++ {
+			now := avtime.WorldTime(i) * unit
+			dt, err := s.ReadChunkTimeAt(i, 1200, int64(i), now, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += dt
+		}
+		return total
+	}
+	full := run(nil)
+	half := run(func(seg *Segment) int64 { return seg.Size() / 2 })
+	if half >= full {
+		t.Errorf("half-payload total %v not below full-payload %v", half, full)
+	}
+	// A payload at (or past) the stored size means nothing is ignored.
+	restored := run(func(seg *Segment) int64 { return seg.Size() })
+	if restored != full {
+		t.Errorf("full-size payload total %v != undegraded %v", restored, full)
+	}
+	// Zero means "unknown": full-chunk reads, same cost.
+	if zeroed := run(func(*Segment) int64 { return 0 }); zeroed != full {
+		t.Errorf("zero payload total %v != undegraded %v", zeroed, full)
+	}
+}
+
+// TestScheduledFailoverCountsInIOStats reads a replicated value through
+// SCAN-EDF rounds while its primary home is down: the redirected read
+// must land in the scheduler's failover counter, not just the sink.
+func TestScheduledFailoverCountsInIOStats(t *testing.T) {
+	dm, st := stripeRig(t, 4)
+	st.SetStriping(StripePolicy{Seeks: true, Rounds: true})
+	st.SetTierPolicy(TierPolicy{Replicas: ReplicaPolicy{Copies: 2, PromoteAt: 1}})
+	seg, err := st.PlaceStriped(clip(t, 12), 2*media.MBPerSecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := st.OpenStreamTiered(seg.ID(), 2*media.MBPerSecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	dm.SetFaultHook(downHook{down: map[string]bool{diskID(0): true}})
+	unit := media.TypeRawVideo30.Rate.UnitDuration()
+	for i := 0; i < 12; i++ {
+		now := avtime.WorldTime(i) * unit
+		if _, err := s.ReadChunkTimeAt(i, 1200, int64(i), now, now); err != nil {
+			t.Fatalf("chunk %d with a live replica: %v", i, err)
+		}
+	}
+	if got := st.IOStats().Failovers; got == 0 {
+		t.Error("scheduler recorded no failovers for reads off a dead primary")
+	}
+}
+
+// TestSinkSwapReachesPoolAndScheduler installs the sink after the pool
+// and scheduler already exist: counters from reads made afterwards must
+// flow to the new sink.
+func TestSinkSwapReachesPoolAndScheduler(t *testing.T) {
+	_, st := stripeRig(t, 2)
+	st.SetCachePolicy(CachePolicy{Capacity: 4, Lookahead: 2})
+	st.SetStriping(StripePolicy{Seeks: true, Rounds: true})
+	seg, err := st.PlaceStriped(clip(t, 10), 2*media.MBPerSecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := st.OpenStream(seg.ID(), 2*media.MBPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	unit := media.TypeRawVideo30.Rate.UnitDuration()
+	if _, err := s.ReadChunkTimeAt(0, 1200, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The pool and scheduler were built sink-less; swap one in mid-run.
+	col := obs.NewCollector()
+	st.SetSink(col)
+	for i := 1; i < 10; i++ {
+		now := avtime.WorldTime(i) * unit
+		if _, err := s.ReadChunkTimeAt(i, 1200, int64(i), now, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := col.Snapshot()
+	if snap.Counter("storage.pool.hits") == 0 {
+		t.Error("pool hits after the sink swap did not reach the new sink")
+	}
+	if snap.Counter("storage.iosched.rounds") == 0 {
+		t.Error("scheduler rounds after the sink swap did not reach the new sink")
+	}
+}
+
+// TestPoolOwnWindowRepeatHit reads a chunk its own fill staged earlier
+// in the same round: the insert is not committed yet, so the hit goes
+// through the staged own-window path, and the commit must leave the
+// pool's occupancy agreeing with the resident map.
+func TestPoolOwnWindowRepeatHit(t *testing.T) {
+	_, st := stripeRig(t, 2)
+	st.SetCachePolicy(CachePolicy{Capacity: 6, Lookahead: 3})
+	seg, err := st.PlaceStriped(clip(t, 12), 2*media.MBPerSecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := st.OpenStream(seg.ID(), 2*media.MBPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Round 0: the miss on chunk 0 stages 0..3; chunk 1 is in the own
+	// fill window, uncommitted, and must still count as a (free) hit.
+	if _, err := s.ReadChunkTimeAt(0, 1200, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := s.ReadChunkTimeAt(1, 1200, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt != 0 {
+		t.Errorf("own-window hit cost %v, want free", dt)
+	}
+	cs := s.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", cs.Hits, cs.Misses)
+	}
+	// A later round commits the staged ops; occupancy views must agree.
+	if _, err := s.ReadChunkTimeAt(4, 1200, 4, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.pool.residentCount(), st.PoolStats().Resident; got != want {
+		t.Errorf("residentCount %d != PoolStats.Resident %d", got, want)
+	}
+}
+
+// TestPolicyEnabledAndSegmentStrings pins the policy switches and the
+// segment rendering for each placement shape.
+func TestPolicyEnabledAndSegmentStrings(t *testing.T) {
+	if (StripePolicy{}).Enabled() {
+		t.Error("zero stripe policy reports enabled")
+	}
+	for _, p := range []StripePolicy{{Width: 2}, {Seeks: true}, {Rounds: true}} {
+		if !p.Enabled() {
+			t.Errorf("stripe policy %+v reports disabled", p)
+		}
+	}
+	if (TierPolicy{}).Enabled() {
+		t.Error("zero tier policy reports enabled")
+	}
+	if !(TierPolicy{PromoteAt: 1}).Enabled() || !(TierPolicy{Replicas: ReplicaPolicy{Copies: 2}}).Enabled() {
+		t.Error("promotion-only and replication-only tier policies must report enabled")
+	}
+
+	_, st := tierRig(t, 2)
+	onDisc, err := st.PlaceOnDisc(clip(t, 2), "jb0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := onDisc.String(); !strings.Contains(got, "disc 1") {
+		t.Errorf("jukebox segment renders %q, want the disc", got)
+	}
+	striped, err := st.PlaceStriped(clip(t, 4), media.MBPerSecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := striped.String(); !strings.Contains(got, "striped over") {
+		t.Errorf("striped segment renders %q, want the stripe", got)
+	}
+	plain, err := st.Place(clip(t, 2), diskID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.String(); !strings.Contains(got, "on "+diskID(0)) || strings.Contains(got, "disc") {
+		t.Errorf("plain segment renders %q, want just the device", got)
+	}
+}

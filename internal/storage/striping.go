@@ -46,6 +46,29 @@ type StripePolicy struct {
 // Enabled reports whether the policy changes any behavior.
 func (p StripePolicy) Enabled() bool { return p.Width > 1 || p.Seeks || p.Rounds }
 
+// ReplicaPolicy configures hot-clip replication: values whose decayed
+// popularity reaches PromoteAt get extra copies of their chunks on
+// disjoint stripe groups, up to Copies copies total, and the round
+// scheduler routes each read to the least-loaded copy — concurrent
+// sessions of one clip fan out instead of queueing on one stripe
+// group's bandwidth.  The zero value disables replication.
+type ReplicaPolicy struct {
+	Copies    int     // total copies of a hot value's chunks; <= 1 disables
+	PromoteAt float64 // decayed popularity at which extra copies appear
+}
+
+// segReplica is one extra copy of a striped segment's chunks on a
+// disjoint set of disks.  The chunk layout (chunkDev/chunkOff/
+// chunkSize) is the segment's own — only the disks, allocation bases
+// and home tracks differ.  Immutable once the copy is registered.
+type segReplica struct {
+	stripe    []string       // disk IDs, same round-robin order as the primary
+	base      []int64        // allocation base offset on each disk
+	perDev    []int64        // bytes per disk; aliases the segment's perDev
+	chunkTrck []int          // chunk -> home track on this copy
+	disks     []*device.Disk // resolved once, for the submit/failover hot paths
+}
+
 // SetStriping configures striping and I/O scheduling for streams opened
 // afterwards; already-open streams keep the policy they were opened
 // with.  The zero policy disables both.

@@ -583,10 +583,10 @@ func TestCacheHitsSkipStripeHomeDisk(t *testing.T) {
 		t.Errorf("misses %d, want 2", cs.Misses)
 	}
 	snap := col.Snapshot()
-	if got := snap.Counter("storage.cache.hits"); got != cs.Hits {
+	if got := snap.Counter("storage.pool.hits"); got != cs.Hits {
 		t.Errorf("sink hits %d, stream stats %d", got, cs.Hits)
 	}
-	if got := snap.Counter("storage.cache.misses"); got != cs.Misses {
+	if got := snap.Counter("storage.pool.misses"); got != cs.Misses {
 		t.Errorf("sink misses %d, stream stats %d", got, cs.Misses)
 	}
 	// Hits don't count as reads: only the successful device accesses do.
@@ -641,7 +641,7 @@ func TestCacheAndSchedulerCountersConsistent(t *testing.T) {
 	if got := snap.Counter("storage.iosched.rounds"); got != io.Rounds {
 		t.Errorf("sink rounds %d, stats %d", got, io.Rounds)
 	}
-	if got := snap.Counter("storage.cache.hits"); got != cs.Hits {
+	if got := snap.Counter("storage.pool.hits"); got != cs.Hits {
 		t.Errorf("sink hits %d, stats %d", got, cs.Hits)
 	}
 }

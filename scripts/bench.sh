@@ -38,6 +38,15 @@
 #         1000 sessions and hard-fails unless the EngineWorkers 2 and 4
 #         arms are byte-identical to serial.
 #
+#   pr10  shared buffer pool + storage hierarchy: BenchmarkPoolHit (the
+#         warm pool-hit read path is gated ns/op and must report
+#         0 allocs/op) plus the Zipf tenancy rerun with the pool on —
+#         the pooled arms must stay byte-identical to serial at
+#         EngineWorkers 2/4, the co-viewing cohort must hit the pool on
+#         more than half its reads, and pooled throughput must beat
+#         both the same run's unpooled arm and PR 9's committed
+#         87.31 MB/s (virtual numbers, so host-independent).
+#
 #   gate  trajectory gate: re-measure every committed BENCH_*.json tag
 #         and fail (via cmd/benchgate) when any host ns/op metric
 #         regressed more than BENCH_GATE_RATIO (default 1.10) over the
@@ -394,6 +403,81 @@ pr9)
     printf "}\n"
   }' > "$out"
   ;;
+pr10)
+  # Warm pool-hit path: a read served from a resident chunk costs no
+  # device time and must cost no allocations either.  The benchmark
+  # controls its own iteration count so first-touch pool growth is
+  # amortized out of the reported allocs/op.
+  bench_out=$(go test -run '^$' -bench 'BenchmarkPoolHit' -benchmem -benchtime "${POOL_BENCHTIME:-100000x}" -count "${BENCHCOUNT:-1}" ./internal/storage/)
+  echo "$bench_out"
+  hit=$(echo "$bench_out" | awk '/BenchmarkPoolHit/ {if (min=="" || $3+0 < min) min=$3+0} END {print min}')
+  hita=$(echo "$bench_out" | awk '/BenchmarkPoolHit/ {print $7+0; exit}')
+  if [ -z "$hit" ]; then
+    echo "bench: could not parse BenchmarkPoolHit output" >&2
+    exit 1
+  fi
+  if [ "$hita" != "0" ]; then
+    echo "bench: warm pool-hit path allocates ($hita allocs/op), want 0" >&2
+    exit 1
+  fi
+  # The virtual side: the Zipf tenancy, unpooled sweep then pooled
+  # sweep.  Both tables start with a "workers" header; the clip table
+  # above also has numeric first columns, so gate on the headers.
+  exp_out=$(go run ./cmd/avbench -exp zipf -frames 30 -sessions 1000)
+  echo "$exp_out"
+  base_mbs=$(echo "$exp_out" | awk '/^workers /{arms++} arms==1 && /^1  /{print $3; exit}')
+  read -r pool_mbs pool_hit cohort <<<"$(echo "$exp_out" | awk '/^workers /{arms++} arms==2 && /^1  /{print $3, $5, $7; exit}')"
+  pident2=$(echo "$exp_out" | awk '/^workers /{arms++} arms==2 && /^2  /{print $NF; exit}')
+  pident4=$(echo "$exp_out" | awk '/^workers /{arms++} arms==2 && /^4  /{print $NF; exit}')
+  if [ -z "$base_mbs" ] || [ -z "$pool_mbs" ] || [ -z "$pident2" ] || [ -z "$pident4" ]; then
+    echo "bench: could not parse zipf pooled experiment output" >&2
+    exit 1
+  fi
+  if [ "$pident2" != "yes" ] || [ "$pident4" != "yes" ]; then
+    echo "bench: pooled arms not byte-identical to serial (workers2=$pident2 workers4=$pident4)" >&2
+    exit 1
+  fi
+  cohort_ok=$(echo "$cohort" | awk '{gsub(/%/, ""); print ($1 + 0 > 50) ? "yes" : "no"}')
+  if [ "$cohort_ok" != "yes" ]; then
+    echo "bench: cohort pool hit rate $cohort not above 50%" >&2
+    exit 1
+  fi
+  # Virtual throughput is deterministic, so both comparisons hold on
+  # any host: the pool must beat this run's unpooled arm and the
+  # committed PR 9 baseline.
+  mbs_ok=$(awk -v p="$pool_mbs" -v b="$base_mbs" 'BEGIN {print (p + 0 > b + 0) ? "yes" : "no"}')
+  if [ "$mbs_ok" != "yes" ]; then
+    echo "bench: pooled throughput $pool_mbs MB/s not above unpooled $base_mbs MB/s" >&2
+    exit 1
+  fi
+  pr9_ok=$(awk -v p="$pool_mbs" 'BEGIN {print (p + 0 > 87.31) ? "yes" : "no"}')
+  if [ "$pr9_ok" != "yes" ]; then
+    echo "bench: pooled throughput $pool_mbs MB/s not above the PR 9 baseline 87.31 MB/s" >&2
+    exit 1
+  fi
+  awk -v hit="$hit" -v base="$base_mbs" -v pool="$pool_mbs" \
+      -v phit="$pool_hit" -v cohort="$cohort" \
+      -v cpus="$cpus" -v gov="$goversion" 'BEGIN {
+    gsub(/%/, "", phit); gsub(/%/, "", cohort)
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkPoolHit\",\n"
+    printf "  \"workload\": {\"pool\": \"capacity 8, lookahead 4, staged commit\", \"read\": \"warm hit on a resident chunk\"},\n"
+    printf "  \"host_ns_per_op\": {\"pool_hit\": %d},\n", hit
+    printf "  \"allocs_per_op\": {\"pool_hit\": 0},\n"
+    printf "  \"virtual\": {\n"
+    printf "    \"experiment\": \"avbench -exp zipf -frames 30 -sessions 1000\",\n"
+    printf "    \"unpooled_mb_per_s\": %s,\n", base
+    printf "    \"pooled_mb_per_s\": %s,\n", pool
+    printf "    \"pr9_baseline_mb_per_s\": 87.31,\n"
+    printf "    \"pool_hit_rate_pct\": %s,\n", phit
+    printf "    \"cohort_hit_rate_pct\": %s,\n", cohort
+    printf "    \"identical_to_serial\": {\"workers_2\": \"yes\", \"workers_4\": \"yes\"}\n"
+    printf "  },\n"
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"go\": \"%s\"\n", gov
+    printf "}\n"
+  }' > "$out"
+  ;;
 gate)
   # Trajectory gate: every committed baseline is re-measured on this
   # host and compared metric-by-metric.  Fresh measurements go to a
@@ -423,7 +507,7 @@ gate)
   exit $status
   ;;
 *)
-  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, pr8, pr9, gate)" >&2
+  echo "bench: unknown tag \"$tag\" (known: pr3, pr4, pr5, pr6, pr7, pr8, pr9, pr10, gate)" >&2
   exit 2
   ;;
 esac
